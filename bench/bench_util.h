@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches: aligned table
+ * printing and the standard core-count sweep of the paper's figures.
+ */
+
+#ifndef SBHBM_BENCH_BENCH_UTIL_H
+#define SBHBM_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace sbhbm::bench {
+
+/** The x-axis of Figs 2, 7, 8, 9. */
+inline const std::vector<unsigned> &
+coreSweep()
+{
+    static const std::vector<unsigned> cores = {2, 16, 32, 48, 64};
+    return cores;
+}
+
+/** Simple aligned-column table printer. */
+class Table
+{
+  public:
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    Table &
+    header(std::vector<std::string> cols)
+    {
+        cols_ = std::move(cols);
+        return *this;
+    }
+
+    Table &
+    row(std::vector<std::string> cells)
+    {
+        rows_.push_back(std::move(cells));
+        return *this;
+    }
+
+    /** Format a double with @p prec digits after the point. */
+    static std::string
+    num(double v, int prec = 1)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+        return buf;
+    }
+
+    static std::string
+    num(uint64_t v)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(v));
+        return buf;
+    }
+
+    void
+    print() const
+    {
+        std::printf("\n## %s\n\n", title_.c_str());
+        std::vector<size_t> width(cols_.size(), 0);
+        for (size_t c = 0; c < cols_.size(); ++c)
+            width[c] = cols_[c].size();
+        for (const auto &r : rows_)
+            for (size_t c = 0; c < r.size() && c < width.size(); ++c)
+                width[c] = std::max(width[c], r[c].size());
+
+        auto print_row = [&](const std::vector<std::string> &r) {
+            for (size_t c = 0; c < r.size(); ++c)
+                std::printf("%-*s  ", static_cast<int>(width[c]),
+                            r[c].c_str());
+            std::printf("\n");
+        };
+        print_row(cols_);
+        std::vector<std::string> rule;
+        rule.reserve(cols_.size());
+        for (size_t c = 0; c < cols_.size(); ++c)
+            rule.push_back(std::string(width[c], '-'));
+        print_row(rule);
+        for (const auto &r : rows_)
+            print_row(r);
+    }
+
+  private:
+    std::string title_;
+    std::vector<std::string> cols_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a named shape-check line ("EXPECT <what>: <ok|VIOLATED>"). */
+inline void
+shapeCheck(const char *what, bool ok)
+{
+    std::printf("SHAPE  %-60s %s\n", what, ok ? "ok" : "VIOLATED");
+}
+
+} // namespace sbhbm::bench
+
+#endif // SBHBM_BENCH_BENCH_UTIL_H

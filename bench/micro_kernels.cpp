@@ -1,0 +1,174 @@
+/**
+ * @file
+ * google-benchmark suite over the host-side kernels that implement
+ * the Table 2 primitives: bitonic block sort, merge-sort runs,
+ * merge-path splitting, the open-addressing hash table (baseline),
+ * and the Fig 11 parsers.
+ *
+ * These measure *host* performance of the functional kernels (useful
+ * when hacking on them); the figure benches measure *simulated*
+ * performance, which is what reproduces the paper.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "algo/hash_table.h"
+#include "algo/sort.h"
+#include "common/rng.h"
+#include "ingest/parse/parsers.h"
+
+using namespace sbhbm;
+using algo::KpEntry;
+
+namespace {
+
+std::vector<KpEntry>
+randomEntries(size_t n, uint64_t seed = 1)
+{
+    std::vector<KpEntry> v(n);
+    Rng rng(seed);
+    for (auto &e : v) {
+        e.key = rng.next();
+        e.row = nullptr;
+    }
+    return v;
+}
+
+void
+BM_BitonicBlockSort(benchmark::State &state)
+{
+    auto data = randomEntries(algo::kSortBlock);
+    for (auto _ : state) {
+        auto copy = data;
+        algo::bitonicSortPow2(copy.data(), algo::kSortBlock);
+        benchmark::DoNotOptimize(copy.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * algo::kSortBlock));
+}
+BENCHMARK(BM_BitonicBlockSort);
+
+void
+BM_SortRun(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    auto data = randomEntries(n);
+    std::vector<KpEntry> scratch(n);
+    for (auto _ : state) {
+        auto copy = data;
+        algo::sortRun(copy.data(), n, scratch.data());
+        benchmark::DoNotOptimize(copy.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_SortRun)->Range(1 << 10, 1 << 20);
+
+void
+BM_MergeRuns(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    auto a = randomEntries(n, 1);
+    auto b = randomEntries(n, 2);
+    std::vector<KpEntry> scratch(n);
+    algo::sortRun(a.data(), n, scratch.data());
+    algo::sortRun(b.data(), n, scratch.data());
+    std::vector<KpEntry> out(2 * n);
+    for (auto _ : state) {
+        algo::mergeRuns(a.data(), n, b.data(), n, out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * 2 * n));
+}
+BENCHMARK(BM_MergeRuns)->Range(1 << 12, 1 << 20);
+
+void
+BM_MergePathSplit(benchmark::State &state)
+{
+    const size_t n = 1 << 20;
+    auto a = randomEntries(n, 3);
+    auto b = randomEntries(n, 4);
+    std::vector<KpEntry> scratch(n);
+    algo::sortRun(a.data(), n, scratch.data());
+    algo::sortRun(b.data(), n, scratch.data());
+    size_t ai = 0, bi = 0;
+    size_t diag = n / 3;
+    for (auto _ : state) {
+        algo::mergePathSplit(a.data(), n, b.data(), n, diag, &ai, &bi);
+        benchmark::DoNotOptimize(ai);
+        diag = (diag + 977) % (2 * n);
+    }
+}
+BENCHMARK(BM_MergePathSplit);
+
+void
+BM_HashInsert(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    auto data = randomEntries(n, 5);
+    for (auto _ : state) {
+        algo::HashTable<uint64_t> table(n / 50 + 16);
+        for (const auto &e : data)
+            ++table.findOrInsert(e.key % (n / 100 + 1));
+        benchmark::DoNotOptimize(table.size());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_HashInsert)->Range(1 << 12, 1 << 18);
+
+template <int F>
+void
+BM_Parse(benchmark::State &state)
+{
+    constexpr uint32_t kRecords = 1000;
+    Rng rng(7);
+    std::string text;
+    std::vector<uint8_t> bin;
+    for (uint32_t i = 0; i < kRecords; ++i) {
+        uint64_t row[7];
+        for (auto &v : row)
+            v = rng.next();
+        if constexpr (F == 0)
+            ingest::parse::encodeJson(row, 7, text);
+        else if constexpr (F == 1)
+            ingest::parse::encodeProto(row, 7, bin);
+        else
+            ingest::parse::encodeText(row, 7, text);
+    }
+    uint64_t out[7];
+    for (auto _ : state) {
+        uint32_t parsed = 0;
+        if constexpr (F == 1) {
+            const uint8_t *p = bin.data();
+            const uint8_t *end = p + bin.size();
+            while (p != nullptr && p < end) {
+                p = ingest::parse::parseProto(p, end, out, 7);
+                ++parsed;
+            }
+        } else {
+            const char *p = text.data();
+            const char *end = p + text.size();
+            while (p != nullptr && p < end) {
+                p = F == 0 ? ingest::parse::parseJson(p, end, out, 7)
+                           : ingest::parse::parseText(p, end, out, 7);
+                ++parsed;
+            }
+        }
+        benchmark::DoNotOptimize(parsed);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * kRecords));
+}
+void BM_ParseJson(benchmark::State &s) { BM_Parse<0>(s); }
+void BM_ParseProto(benchmark::State &s) { BM_Parse<1>(s); }
+void BM_ParseText(benchmark::State &s) { BM_Parse<2>(s); }
+BENCHMARK(BM_ParseJson);
+BENCHMARK(BM_ParseProto);
+BENCHMARK(BM_ParseText);
+
+} // namespace
+
+BENCHMARK_MAIN();

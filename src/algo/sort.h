@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Sequential-access merge-sort kernels on key/pointer pairs (paper
+ * §4.2, "Primitive Implementation").
+ *
+ * The paper's Sort splits a KPA into chunks, bitonic-sorts blocks of
+ * 64 pairs, then merges. The kernels here are the single-thread
+ * building blocks; multi-thread orchestration (N chunk sorts, then
+ * pairwise merges sliced at key boundaries) lives in the runtime and
+ * operator layers. The host implementation uses a branchless bitonic
+ * network (what the paper hand-tunes with AVX-512); simulated timing
+ * is charged by the caller via the cost model, so host SIMD width
+ * never affects reported numbers.
+ */
+
+#ifndef SBHBM_ALGO_SORT_H
+#define SBHBM_ALGO_SORT_H
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "columnar/record.h"
+#include "common/logging.h"
+
+namespace sbhbm::algo {
+
+using columnar::KpEntry;
+
+/** Block size of the bitonic kernel (64 pairs, paper §4.2). */
+constexpr size_t kSortBlock = 64;
+
+/**
+ * Branchless compare-exchange: after the call, a holds the smaller
+ * key. The pattern compiles to cmov/vector min-max.
+ */
+inline void
+compareExchange(KpEntry &a, KpEntry &b)
+{
+    const bool swap = b.key < a.key;
+    const KpEntry lo = swap ? b : a;
+    const KpEntry hi = swap ? a : b;
+    a = lo;
+    b = hi;
+}
+
+/**
+ * Bitonic sorting network over exactly @p n entries, n a power of two
+ * and n <= kSortBlock.
+ */
+inline void
+bitonicSortPow2(KpEntry *e, size_t n)
+{
+    sbhbm_assert((n & (n - 1)) == 0 && n <= kSortBlock,
+                 "bitonic needs a power of two <= 64, got %zu", n);
+    for (size_t k = 2; k <= n; k <<= 1) {
+        for (size_t j = k >> 1; j > 0; j >>= 1) {
+            for (size_t i = 0; i < n; ++i) {
+                const size_t l = i ^ j;
+                if (l <= i)
+                    continue;
+                const bool ascending = (i & k) == 0;
+                if (ascending)
+                    compareExchange(e[i], e[l]);
+                else
+                    compareExchange(e[l], e[i]);
+            }
+        }
+    }
+}
+
+/** Insertion sort for sub-block tails. */
+inline void
+insertionSort(KpEntry *e, size_t n)
+{
+    for (size_t i = 1; i < n; ++i) {
+        const KpEntry v = e[i];
+        size_t j = i;
+        while (j > 0 && v.key < e[j - 1].key) {
+            e[j] = e[j - 1];
+            --j;
+        }
+        e[j] = v;
+    }
+}
+
+/** Sort up to kSortBlock entries (bitonic when full, insertion tail). */
+inline void
+sortBlock(KpEntry *e, size_t n)
+{
+    sbhbm_assert(n <= kSortBlock, "block too large: %zu", n);
+    if (n == kSortBlock)
+        bitonicSortPow2(e, n);
+    else
+        insertionSort(e, n);
+}
+
+/** Merge two sorted runs into @p out (sequential access). */
+inline void
+mergeRuns(const KpEntry *a, size_t na, const KpEntry *b, size_t nb,
+          KpEntry *out)
+{
+    size_t i = 0, j = 0, k = 0;
+    while (i < na && j < nb)
+        out[k++] = (b[j].key < a[i].key) ? b[j++] : a[i++];
+    while (i < na)
+        out[k++] = a[i++];
+    while (j < nb)
+        out[k++] = b[j++];
+}
+
+/**
+ * Full merge-sort of @p n entries in place, using @p scratch (at
+ * least n entries). Bitonic block sort followed by bottom-up merging.
+ */
+inline void
+sortRun(KpEntry *data, size_t n, KpEntry *scratch)
+{
+    if (n <= 1)
+        return;
+    for (size_t i = 0; i < n; i += kSortBlock)
+        sortBlock(data + i, std::min(kSortBlock, n - i));
+
+    KpEntry *src = data;
+    KpEntry *dst = scratch;
+    for (size_t width = kSortBlock; width < n; width <<= 1) {
+        for (size_t i = 0; i < n; i += 2 * width) {
+            const size_t mid = std::min(i + width, n);
+            const size_t end = std::min(i + 2 * width, n);
+            mergeRuns(src + i, mid - i, src + mid, end - mid, dst + i);
+        }
+        std::swap(src, dst);
+    }
+    if (src != data) {
+        for (size_t i = 0; i < n; ++i)
+            data[i] = src[i];
+    }
+}
+
+/** Number of merge levels sortRun performs above the block sort. */
+inline int
+mergeLevels(size_t n)
+{
+    int levels = 0;
+    for (size_t width = kSortBlock; width < n; width <<= 1)
+        ++levels;
+    return levels;
+}
+
+/** @return true when entries are nondecreasing by key. */
+inline bool
+isSortedByKey(const KpEntry *e, size_t n)
+{
+    for (size_t i = 1; i < n; ++i)
+        if (e[i].key < e[i - 1].key)
+            return false;
+    return true;
+}
+
+/**
+ * Merge-path split: find (ai, bi) with ai + bi == diag such that
+ * merging a[0..ai) and b[0..bi) yields the first diag outputs of the
+ * full merge. Used to slice one large merge across threads at key
+ * boundaries (paper §4.2: "the threads slice chunks at key boundaries
+ * to parallelize the task of merging fewer, but larger chunks").
+ */
+inline void
+mergePathSplit(const KpEntry *a, size_t na, const KpEntry *b, size_t nb,
+               size_t diag, size_t *ai, size_t *bi)
+{
+    sbhbm_assert(diag <= na + nb, "diagonal out of range");
+    size_t lo = diag > nb ? diag - nb : 0;
+    size_t hi = std::min(diag, na);
+    while (lo < hi) {
+        const size_t mid = lo + (hi - lo) / 2;
+        // a[mid] vs b[diag - mid - 1]: is a[mid] on the output side?
+        if (b[diag - mid - 1].key < a[mid].key)
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    *ai = lo;
+    *bi = diag - lo;
+}
+
+} // namespace sbhbm::algo
+
+#endif // SBHBM_ALGO_SORT_H

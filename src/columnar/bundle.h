@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Record bundles: the unit of data parallelism (paper §2.1, Fig 1c).
+ *
+ * A bundle is a fixed-capacity batch of full records. Records are
+ * numeric rows (each column a 64-bit value) stored row-major, in
+ * arrival order, always in DRAM (paper §3: "StreamBox-HBM ingests
+ * streaming records ... and allocates them in DRAM — in arrival order
+ * and in row format").
+ *
+ * Lifetime follows paper §5.1: a bundle is never mutated structurally
+ * after it is sealed; KPAs hold references into it; the bundle carries
+ * a reference count and is reclaimed when the last referencing KPA
+ * (or pipeline channel) drops it.
+ */
+
+#ifndef SBHBM_COLUMNAR_BUNDLE_H
+#define SBHBM_COLUMNAR_BUNDLE_H
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/units.h"
+#include "mem/hybrid_memory.h"
+
+namespace sbhbm::columnar {
+
+/** One batch of full records, row-major, DRAM-resident. */
+class Bundle
+{
+  public:
+    /**
+     * Allocate a bundle.
+     * @param hm        memory manager (data always placed on DRAM).
+     * @param cols      number of 64-bit columns per record.
+     * @param capacity  maximum number of records.
+     * @return a bundle with reference count 1 (caller owns one ref).
+     */
+    static Bundle *
+    create(mem::HybridMemory &hm, uint32_t cols, uint32_t capacity)
+    {
+        sbhbm_assert(cols > 0 && capacity > 0, "empty bundle shape");
+        auto block = hm.alloc(uint64_t{capacity} * cols * sizeof(uint64_t),
+                              mem::Tier::kDram);
+        return new Bundle(hm, block, cols, capacity);
+    }
+
+    Bundle(const Bundle &) = delete;
+    Bundle &operator=(const Bundle &) = delete;
+
+    /** Take one additional reference. */
+    void retain() { ++refcount_; }
+
+    /**
+     * Drop one reference; destroys the bundle (and frees its DRAM)
+     * when this was the last one.
+     * @return true when the bundle was destroyed.
+     */
+    bool
+    release()
+    {
+        sbhbm_assert(refcount_ > 0, "releasing dead bundle");
+        if (--refcount_ > 0)
+            return false;
+        delete this;
+        return true;
+    }
+
+    uint32_t refcount() const { return refcount_; }
+    uint64_t id() const { return id_; }
+    uint32_t cols() const { return cols_; }
+    uint32_t capacity() const { return capacity_; }
+    uint32_t size() const { return size_; }
+    bool full() const { return size_ == capacity_; }
+
+    /** Bytes of record data (what grouping on full records must move). */
+    uint64_t
+    dataBytes() const
+    {
+        return uint64_t{size_} * cols_ * sizeof(uint64_t);
+    }
+
+    /** Mutable access to record @p r (KeySwap writes keys back). */
+    uint64_t *
+    row(uint32_t r)
+    {
+        sbhbm_assert(r < size_, "row %u out of %u", r, size_);
+        return data() + uint64_t{r} * cols_;
+    }
+
+    const uint64_t *
+    row(uint32_t r) const
+    {
+        sbhbm_assert(r < size_, "row %u out of %u", r, size_);
+        return data() + uint64_t{r} * cols_;
+    }
+
+    /** Append one record given as @p cols_ column values. */
+    uint64_t *
+    append(const uint64_t *values)
+    {
+        sbhbm_assert(size_ < capacity_, "bundle overflow");
+        uint64_t *r = data() + uint64_t{size_} * cols_;
+        for (uint32_t c = 0; c < cols_; ++c)
+            r[c] = values[c];
+        ++size_;
+        return r;
+    }
+
+    uint64_t *
+    append(std::initializer_list<uint64_t> values)
+    {
+        sbhbm_assert(values.size() == cols_, "arity mismatch: %zu vs %u",
+                     values.size(), cols_);
+        return append(values.begin());
+    }
+
+    /** Append a record slot without initializing; returns the row. */
+    uint64_t *
+    appendRaw()
+    {
+        sbhbm_assert(size_ < capacity_, "bundle overflow");
+        uint64_t *r = data() + uint64_t{size_} * cols_;
+        ++size_;
+        return r;
+    }
+
+    uint64_t *data() { return static_cast<uint64_t *>(block_.ptr); }
+    const uint64_t *
+    data() const
+    {
+        return static_cast<const uint64_t *>(block_.ptr);
+    }
+
+    /** Tier the record data lives on (always DRAM in flat mode). */
+    mem::Tier tier() const { return block_.tier; }
+
+    /**
+     * Install a hook run when the bundle is reclaimed (the ingestion
+     * path uses it for back-pressure credit accounting).
+     */
+    void
+    setOnDestroy(std::function<void()> fn)
+    {
+        on_destroy_ = std::move(fn);
+    }
+
+  private:
+    Bundle(mem::HybridMemory &hm, mem::Block block, uint32_t cols,
+           uint32_t capacity)
+        : hm_(hm), block_(block), id_(next_id_++), cols_(cols),
+          capacity_(capacity)
+    {
+    }
+
+    ~Bundle()
+    {
+        if (on_destroy_)
+            on_destroy_();
+        hm_.free(block_);
+    }
+
+    static inline uint64_t next_id_ = 1;
+
+    mem::HybridMemory &hm_;
+    mem::Block block_;
+    uint64_t id_;
+    uint32_t cols_;
+    uint32_t capacity_;
+    uint32_t size_ = 0;
+    uint32_t refcount_ = 1;
+    std::function<void()> on_destroy_;
+};
+
+/** RAII handle managing one bundle reference. */
+class BundleHandle
+{
+  public:
+    BundleHandle() = default;
+
+    /** Adopts the caller's reference (does not retain). */
+    static BundleHandle
+    adopt(Bundle *b)
+    {
+        BundleHandle h;
+        h.b_ = b;
+        return h;
+    }
+
+    /** Takes a new reference on @p b. */
+    static BundleHandle
+    share(Bundle *b)
+    {
+        if (b)
+            b->retain();
+        return adopt(b);
+    }
+
+    BundleHandle(const BundleHandle &o) : b_(o.b_)
+    {
+        if (b_)
+            b_->retain();
+    }
+
+    BundleHandle(BundleHandle &&o) noexcept : b_(o.b_) { o.b_ = nullptr; }
+
+    BundleHandle &
+    operator=(BundleHandle o) noexcept
+    {
+        std::swap(b_, o.b_);
+        return *this;
+    }
+
+    ~BundleHandle() { reset(); }
+
+    void
+    reset()
+    {
+        if (b_) {
+            b_->release();
+            b_ = nullptr;
+        }
+    }
+
+    Bundle *get() const { return b_; }
+    Bundle *operator->() const { return b_; }
+    Bundle &operator*() const { return *b_; }
+    explicit operator bool() const { return b_ != nullptr; }
+
+  private:
+    Bundle *b_ = nullptr;
+};
+
+} // namespace sbhbm::columnar
+
+#endif // SBHBM_COLUMNAR_BUNDLE_H

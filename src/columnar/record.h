@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Partial-record representation: the key/pointer pair (paper §4.1).
+ *
+ * A KPA entry replicates exactly one column (the resident key) of a
+ * full record plus a pointer to the full record in DRAM. Grouping
+ * operators compare resident keys and move 16-byte pairs; they never
+ * touch the full records.
+ */
+
+#ifndef SBHBM_COLUMNAR_RECORD_H
+#define SBHBM_COLUMNAR_RECORD_H
+
+#include <cstdint>
+
+namespace sbhbm::columnar {
+
+/** Index of a column within a record. */
+using ColumnId = uint32_t;
+
+/** Sentinel meaning "no resident column". */
+constexpr ColumnId kNoColumn = ~0u;
+
+/** One key/pointer pair: 16 bytes, the unit all grouping moves. */
+struct KpEntry
+{
+    uint64_t key;   //!< resident key (copied column value)
+    uint64_t *row;  //!< pointer to the full record in its bundle
+
+    friend bool
+    operator<(const KpEntry &a, const KpEntry &b)
+    {
+        return a.key < b.key;
+    }
+};
+
+static_assert(sizeof(KpEntry) == 16, "KPA entries must be 16 bytes");
+
+} // namespace sbhbm::columnar
+
+#endif // SBHBM_COLUMNAR_RECORD_H

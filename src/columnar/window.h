@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Temporal windows and watermarks (paper §2.1).
+ *
+ * Records carry event timestamps; data sources inject watermarks
+ * guaranteeing no later record will have an earlier timestamp. A
+ * pipeline produces output per temporal window; a window closes when
+ * a watermark at or past its end arrives.
+ */
+
+#ifndef SBHBM_COLUMNAR_WINDOW_H
+#define SBHBM_COLUMNAR_WINDOW_H
+
+#include <cstdint>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace sbhbm::columnar {
+
+/** Identifies one fixed-size window: floor(ts / width). */
+using WindowId = uint64_t;
+
+/** Fixed (tumbling) windowing scheme. */
+struct WindowSpec
+{
+    /** Window width in event-time nanoseconds. */
+    EventTime width = kNsPerSec;
+
+    WindowId
+    windowOf(EventTime ts) const
+    {
+        sbhbm_assert(width > 0, "zero-width window");
+        return ts / width;
+    }
+
+    EventTime start(WindowId w) const { return w * width; }
+    EventTime end(WindowId w) const { return (w + 1) * width; }
+};
+
+/**
+ * A watermark: a promise from the source that every subsequent record
+ * timestamp will be strictly later than @p ts.
+ */
+struct Watermark
+{
+    EventTime ts = 0;
+};
+
+} // namespace sbhbm::columnar
+
+#endif // SBHBM_COLUMNAR_WINDOW_H

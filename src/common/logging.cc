@@ -1,0 +1,69 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sbhbm {
+
+namespace {
+
+std::atomic<bool> g_quiet{false};
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kInform: return "info";
+      case LogLevel::kWarn:   return "warn";
+      case LogLevel::kFatal:  return "fatal";
+      case LogLevel::kPanic:  return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setQuietLogging(bool quiet)
+{
+    g_quiet.store(quiet, std::memory_order_relaxed);
+}
+
+bool
+quietLogging()
+{
+    return g_quiet.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+logMessage(LogLevel level, const char *file, int line, const char *func,
+           const char *fmt, ...)
+{
+    if (level == LogLevel::kInform && quietLogging())
+        return;
+
+    FILE *out = (level == LogLevel::kInform) ? stdout : stderr;
+    std::fprintf(out, "[%s] ", levelName(level));
+
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(out, fmt, args);
+    va_end(args);
+
+    if (level == LogLevel::kPanic || level == LogLevel::kFatal)
+        std::fprintf(out, " (%s:%d in %s)", file, line, func);
+    std::fprintf(out, "\n");
+    std::fflush(out);
+
+    if (level == LogLevel::kPanic)
+        std::abort();
+    if (level == LogLevel::kFatal)
+        std::exit(1);
+}
+
+} // namespace detail
+
+} // namespace sbhbm

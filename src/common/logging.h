@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Status / error reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  - an internal invariant was violated (engine bug); aborts.
+ * fatal()  - the user asked for something impossible (bad config); exits.
+ * warn()   - something works, but not as well as it should.
+ * inform() - plain status output.
+ */
+
+#ifndef SBHBM_COMMON_LOGGING_H
+#define SBHBM_COMMON_LOGGING_H
+
+#include <cstdarg>
+#include <cstdint>
+#include <string>
+
+namespace sbhbm {
+
+/** Severity of a log message. */
+enum class LogLevel : uint8_t { kInform, kWarn, kFatal, kPanic };
+
+namespace detail {
+
+/** Format and emit one log record; terminates for kFatal / kPanic. */
+[[gnu::format(printf, 5, 6)]]
+void logMessage(LogLevel level, const char *file, int line,
+                const char *func, const char *fmt, ...);
+
+} // namespace detail
+
+/** Silence all inform() output (used by benches to keep stdout clean). */
+void setQuietLogging(bool quiet);
+
+/** @return true when inform() output is suppressed. */
+bool quietLogging();
+
+} // namespace sbhbm
+
+#define SBHBM_LOG(level, ...)                                                \
+    ::sbhbm::detail::logMessage(level, __FILE__, __LINE__, __func__,         \
+                                __VA_ARGS__)
+
+/** Unrecoverable internal error: the engine itself is broken. */
+#define sbhbm_panic(...) SBHBM_LOG(::sbhbm::LogLevel::kPanic, __VA_ARGS__)
+
+/** Unrecoverable user error: bad configuration or arguments. */
+#define sbhbm_fatal(...) SBHBM_LOG(::sbhbm::LogLevel::kFatal, __VA_ARGS__)
+
+/** Something is off but the run can continue. */
+#define sbhbm_warn(...) SBHBM_LOG(::sbhbm::LogLevel::kWarn, __VA_ARGS__)
+
+/** Normal operating message. */
+#define sbhbm_inform(...) SBHBM_LOG(::sbhbm::LogLevel::kInform, __VA_ARGS__)
+
+/**
+ * Panic unless @p cond holds. Always evaluated (not compiled out).
+ * Usage: sbhbm_assert(x > 0, "x must be positive, got %d", x);
+ */
+#define sbhbm_assert(cond, ...)                                              \
+    do {                                                                     \
+        if (!(cond)) [[unlikely]] {                                          \
+            sbhbm_panic("assertion `" #cond "' failed. " __VA_ARGS__);       \
+        }                                                                    \
+    } while (0)
+
+#endif // SBHBM_COMMON_LOGGING_H

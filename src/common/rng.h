@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * The whole engine must be reproducible run-to-run, so every component
+ * that needs randomness (workload generators, the demand-balance knob's
+ * placement coin flips) owns an Rng seeded explicitly. Never use
+ * std::rand or a random_device-seeded engine inside the simulator.
+ */
+
+#ifndef SBHBM_COMMON_RNG_H
+#define SBHBM_COMMON_RNG_H
+
+#include <cstdint>
+
+namespace sbhbm {
+
+/** xoshiro256** 1.0 by Blackman & Vigna (public domain algorithm). */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedULL) { reseed(seed); }
+
+    /** Re-initialize the state from a 64-bit seed via splitmix64. */
+    void
+    reseed(uint64_t seed)
+    {
+        for (auto &word : state_)
+            word = splitmix64(seed);
+    }
+
+    /** @return the next 64-bit pseudo-random value. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** @return a value uniform in [0, bound); bound must be nonzero. */
+    uint64_t
+    nextBounded(uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection-free mapping is fine here:
+        // slight bias of ~2^-64 is irrelevant for workload generation.
+        return static_cast<uint64_t>(
+            (static_cast<__uint128_t>(next()) * bound) >> 64);
+    }
+
+    /** @return a double uniform in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** @return true with probability @p p (clamped to [0,1]). */
+    bool
+    nextBool(double p)
+    {
+        return nextDouble() < p;
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    /** splitmix64 step, used only for seeding. */
+    static uint64_t
+    splitmix64(uint64_t &x)
+    {
+        uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    uint64_t state_[4];
+};
+
+} // namespace sbhbm
+
+#endif // SBHBM_COMMON_RNG_H

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Small statistics helpers: running mean/max gauges and a streaming
+ * sample set with percentile queries. Used by the resource monitor and
+ * by the benchmark harnesses when reporting peak/average usage.
+ */
+
+#ifndef SBHBM_COMMON_STATS_H
+#define SBHBM_COMMON_STATS_H
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace sbhbm {
+
+/** Tracks count / sum / min / max of a stream of double samples. */
+class RunningStat
+{
+  public:
+    void
+    add(double v)
+    {
+        if (count_ == 0) {
+            min_ = max_ = v;
+        } else {
+            min_ = std::min(min_, v);
+            max_ = std::max(max_, v);
+        }
+        sum_ += v;
+        ++count_;
+    }
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = min_ = max_ = 0.0;
+    }
+
+  private:
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Stores all samples and answers percentile queries. Intended for
+ * low-rate series such as per-window output delays.
+ */
+class SampleSet
+{
+  public:
+    void add(double v) { samples_.push_back(v); }
+
+    size_t size() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    /**
+     * @param p percentile in [0, 100].
+     * @return the nearest-rank percentile, or 0 when empty.
+     */
+    double
+    percentile(double p) const
+    {
+        if (samples_.empty())
+            return 0.0;
+        sbhbm_assert(p >= 0.0 && p <= 100.0, "p=%f", p);
+        std::vector<double> sorted(samples_);
+        std::sort(sorted.begin(), sorted.end());
+        const auto rank = static_cast<size_t>(
+            p / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
+        return sorted[std::min(rank, sorted.size() - 1)];
+    }
+
+    double
+    mean() const
+    {
+        if (samples_.empty())
+            return 0.0;
+        double sum = 0.0;
+        for (double v : samples_)
+            sum += v;
+        return sum / static_cast<double>(samples_.size());
+    }
+
+    double
+    max() const
+    {
+        double best = 0.0;
+        for (double v : samples_)
+            best = std::max(best, v);
+        return best;
+    }
+
+    const std::vector<double> &samples() const { return samples_; }
+
+    void clear() { samples_.clear(); }
+
+  private:
+    std::vector<double> samples_;
+};
+
+} // namespace sbhbm
+
+#endif // SBHBM_COMMON_STATS_H

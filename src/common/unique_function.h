@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Move-only type-erased callable (a minimal std::move_only_function,
+ * which is C++23; this project targets C++20).
+ *
+ * Task bodies capture move-only payloads (KPAs are unique_ptrs), so
+ * std::function — which requires copy-constructible targets — cannot
+ * hold them.
+ */
+
+#ifndef SBHBM_COMMON_UNIQUE_FUNCTION_H
+#define SBHBM_COMMON_UNIQUE_FUNCTION_H
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace sbhbm {
+
+template <typename Signature>
+class UniqueFunction;
+
+/** Move-only callable wrapper for signature R(Args...). */
+template <typename R, typename... Args>
+class UniqueFunction<R(Args...)>
+{
+  public:
+    UniqueFunction() = default;
+    UniqueFunction(std::nullptr_t) {} // NOLINT(google-explicit-constructor)
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, UniqueFunction>
+                  && !std::is_same_v<std::decay_t<F>, std::nullptr_t>>>
+    UniqueFunction(F &&f) // NOLINT(google-explicit-constructor)
+        : impl_(std::make_unique<Impl<std::decay_t<F>>>(
+              std::forward<F>(f)))
+    {
+    }
+
+    UniqueFunction(UniqueFunction &&) noexcept = default;
+    UniqueFunction &operator=(UniqueFunction &&) noexcept = default;
+    UniqueFunction(const UniqueFunction &) = delete;
+    UniqueFunction &operator=(const UniqueFunction &) = delete;
+
+    explicit operator bool() const { return impl_ != nullptr; }
+
+    /** Drop the target (and everything it captured). */
+    void reset() { impl_.reset(); }
+
+    R
+    operator()(Args... args) const
+    {
+        sbhbm_assert(impl_ != nullptr, "calling empty UniqueFunction");
+        return impl_->call(std::forward<Args>(args)...);
+    }
+
+  private:
+    struct Base
+    {
+        virtual ~Base() = default;
+        virtual R call(Args...) = 0;
+    };
+
+    template <typename F>
+    struct Impl final : Base
+    {
+        explicit Impl(F f) : fn(std::move(f)) {}
+
+        R
+        call(Args... args) override
+        {
+            return fn(std::forward<Args>(args)...);
+        }
+
+        F fn;
+    };
+
+    std::unique_ptr<Base> impl_;
+};
+
+} // namespace sbhbm
+
+#endif // SBHBM_COMMON_UNIQUE_FUNCTION_H

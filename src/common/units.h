@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Unit helpers and the virtual-time type shared across the project.
+ *
+ * All simulated time is kept in integer nanoseconds (SimTime); all
+ * capacities in bytes; all rates in bytes per second (double).
+ */
+
+#ifndef SBHBM_COMMON_UNITS_H
+#define SBHBM_COMMON_UNITS_H
+
+#include <cstdint>
+
+namespace sbhbm {
+
+/** Virtual (simulated) time in nanoseconds. */
+using SimTime = uint64_t;
+
+/** Event-time of stream records, also in nanoseconds. */
+using EventTime = uint64_t;
+
+constexpr SimTime kNsPerUs = 1000;
+constexpr SimTime kNsPerMs = 1000 * 1000;
+constexpr SimTime kNsPerSec = 1000ull * 1000 * 1000;
+
+/** A SimTime value meaning "never". */
+constexpr SimTime kSimTimeNever = ~0ull;
+
+constexpr uint64_t operator""_KiB(unsigned long long v) { return v << 10; }
+constexpr uint64_t operator""_MiB(unsigned long long v) { return v << 20; }
+constexpr uint64_t operator""_GiB(unsigned long long v) { return v << 30; }
+
+/** Decimal giga, used for link and memory bandwidths (GB/s). */
+constexpr double operator""_GBps(long double v)
+{
+    return static_cast<double>(v) * 1e9;
+}
+
+constexpr double operator""_GBps(unsigned long long v)
+{
+    return static_cast<double>(v) * 1e9;
+}
+
+/** Gigabits per second, for NIC rates; returns bytes/sec. */
+constexpr double operator""_Gbps(unsigned long long v)
+{
+    return static_cast<double>(v) * 1e9 / 8.0;
+}
+
+/** Convert a byte count and a duration to bytes/sec. */
+constexpr double
+bytesPerSec(uint64_t bytes, SimTime dur_ns)
+{
+    return dur_ns == 0 ? 0.0
+                       : static_cast<double>(bytes) * 1e9
+                             / static_cast<double>(dur_ns);
+}
+
+/** Convert seconds (double) to SimTime nanoseconds. */
+constexpr SimTime
+secondsToSim(double sec)
+{
+    return static_cast<SimTime>(sec * 1e9);
+}
+
+/** Convert SimTime nanoseconds to seconds. */
+constexpr double
+simToSeconds(SimTime t)
+{
+    return static_cast<double>(t) / 1e9;
+}
+
+} // namespace sbhbm
+
+#endif // SBHBM_COMMON_UNITS_H

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Ingestion-format parsers (Fig 11): JSON, protocol-buffers-style
+ * varint wire format, and delimited text strings.
+ *
+ * Each codec is a real encoder/decoder pair over numeric records
+ * (functionally round-trip tested); the benchmark charges each
+ * parsed record the calibrated per-record CPU cost of the format
+ * (sim/cost_model.h) to reproduce the relative parsing throughputs
+ * the paper measures on KNL and X56.
+ */
+
+#ifndef SBHBM_INGEST_PARSE_PARSERS_H
+#define SBHBM_INGEST_PARSE_PARSERS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace sbhbm::ingest::parse {
+
+/** Field names used when encoding YSB-like records as JSON. */
+inline const char *const kFieldNames[] = {
+    "ts", "user_id", "page_id", "ad_id", "ad_type", "event_type", "ip",
+};
+constexpr uint32_t kMaxFields = 7;
+
+// -------------------------------------------------------------------
+// JSON (human-readable; slowest to parse)
+// -------------------------------------------------------------------
+
+/** Encode one record as a flat JSON object of numeric fields. */
+inline void
+encodeJson(const uint64_t *row, uint32_t cols, std::string &out)
+{
+    sbhbm_assert(cols <= kMaxFields, "too many fields: %u", cols);
+    out.push_back('{');
+    for (uint32_t c = 0; c < cols; ++c) {
+        if (c > 0)
+            out.push_back(',');
+        out.push_back('"');
+        out.append(kFieldNames[c]);
+        out.append("\":");
+        out.append(std::to_string(row[c]));
+    }
+    out.append("}\n");
+}
+
+/**
+ * Parse one JSON object from @p p; fields must be flat numeric.
+ * @return pointer past the parsed object, or nullptr on malformed
+ *         input. Values land in @p row in field order.
+ */
+inline const char *
+parseJson(const char *p, const char *end, uint64_t *row, uint32_t cols)
+{
+    auto skip_ws = [&] {
+        while (p < end && (*p == ' ' || *p == '\n' || *p == '\t'))
+            ++p;
+    };
+    skip_ws();
+    if (p >= end || *p != '{')
+        return nullptr;
+    ++p;
+    for (uint32_t c = 0; c < cols; ++c) {
+        skip_ws();
+        if (p >= end || *p != '"')
+            return nullptr;
+        ++p;
+        while (p < end && *p != '"') // field name (validated by order)
+            ++p;
+        if (p >= end)
+            return nullptr;
+        ++p;
+        skip_ws();
+        if (p >= end || *p != ':')
+            return nullptr;
+        ++p;
+        skip_ws();
+        uint64_t v = 0;
+        if (p >= end || *p < '0' || *p > '9')
+            return nullptr;
+        while (p < end && *p >= '0' && *p <= '9')
+            v = v * 10 + static_cast<uint64_t>(*p++ - '0');
+        row[c] = v;
+        skip_ws();
+        if (c + 1 < cols) {
+            if (p >= end || *p != ',')
+                return nullptr;
+            ++p;
+        }
+    }
+    skip_ws();
+    if (p >= end || *p != '}')
+        return nullptr;
+    return p + 1;
+}
+
+// -------------------------------------------------------------------
+// Protocol-buffers-style varint wire format
+// -------------------------------------------------------------------
+
+/** Append a base-128 varint. */
+inline void
+encodeVarint(uint64_t v, std::vector<uint8_t> &out)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<uint8_t>(v));
+}
+
+/** Encode one record: per field, a tag byte (field#, wire type 0). */
+inline void
+encodeProto(const uint64_t *row, uint32_t cols, std::vector<uint8_t> &out)
+{
+    for (uint32_t c = 0; c < cols; ++c) {
+        out.push_back(static_cast<uint8_t>(((c + 1) << 3) | 0));
+        encodeVarint(row[c], out);
+    }
+}
+
+/**
+ * Decode one record of @p cols varint fields.
+ * @return pointer past the record, or nullptr on malformed input.
+ */
+inline const uint8_t *
+parseProto(const uint8_t *p, const uint8_t *end, uint64_t *row,
+           uint32_t cols)
+{
+    for (uint32_t c = 0; c < cols; ++c) {
+        if (p >= end)
+            return nullptr;
+        const uint8_t tag = *p++;
+        const uint32_t field = tag >> 3;
+        if (field != c + 1 || (tag & 7) != 0)
+            return nullptr;
+        uint64_t v = 0;
+        int shift = 0;
+        while (p < end) {
+            const uint8_t byte = *p++;
+            v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+            if ((byte & 0x80) == 0)
+                break;
+            shift += 7;
+            if (shift >= 64)
+                return nullptr;
+        }
+        row[c] = v;
+    }
+    return p;
+}
+
+// -------------------------------------------------------------------
+// Delimited text strings (fastest: string-to-uint64 per field)
+// -------------------------------------------------------------------
+
+/** Encode one record as "v0|v1|...|vN\n". */
+inline void
+encodeText(const uint64_t *row, uint32_t cols, std::string &out)
+{
+    for (uint32_t c = 0; c < cols; ++c) {
+        if (c > 0)
+            out.push_back('|');
+        out.append(std::to_string(row[c]));
+    }
+    out.push_back('\n');
+}
+
+/**
+ * Parse one '|'-delimited line of @p cols unsigned integers.
+ * @return pointer past the newline, or nullptr on malformed input.
+ */
+inline const char *
+parseText(const char *p, const char *end, uint64_t *row, uint32_t cols)
+{
+    for (uint32_t c = 0; c < cols; ++c) {
+        if (p >= end || *p < '0' || *p > '9')
+            return nullptr;
+        uint64_t v = 0;
+        while (p < end && *p >= '0' && *p <= '9')
+            v = v * 10 + static_cast<uint64_t>(*p++ - '0');
+        row[c] = v;
+        if (c + 1 < cols) {
+            if (p >= end || *p != '|')
+                return nullptr;
+            ++p;
+        }
+    }
+    if (p >= end || *p != '\n')
+        return nullptr;
+    return p + 1;
+}
+
+} // namespace sbhbm::ingest::parse
+
+#endif // SBHBM_INGEST_PARSE_PARSERS_H

@@ -1,0 +1,411 @@
+/**
+ * @file
+ * Data ingress (paper §6, "Data ingress").
+ *
+ * A Source models the Sender machine + NIC: bundles of records arrive
+ * paced by the NIC's payload bandwidth (40 Gb/s RDMA or 10 GbE
+ * ZeroMQ). The RDMA path delivers into pre-allocated bundles with no
+ * copy; the ZeroMQ path charges an ingestion copy per bundle. The
+ * source stops pulling while the engine is back-pressured (paper §5:
+ * "StreamBox-HBM dynamically starts or stops pulling data from data
+ * source according to current resource utilization").
+ *
+ * Event time == delivery time: records are stamped as they arrive, so
+ * watermarks follow the stream with no artificial skew. Fig 10b's
+ * delayed watermarks are reproduced with bundles_per_watermark.
+ */
+
+#ifndef SBHBM_INGEST_SOURCE_H
+#define SBHBM_INGEST_SOURCE_H
+
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "ingest/generator.h"
+#include "pipeline/operator.h"
+#include "pipeline/pipeline.h"
+#include "runtime/engine.h"
+#include "sim/cost_model.h"
+
+namespace sbhbm::ingest {
+
+using runtime::Engine;
+
+/** Ingestion configuration. */
+struct SourceConfig
+{
+    /** NIC payload bandwidth, bytes/sec. */
+    double nic_bw = 5e9; // 40 Gb/s RDMA
+
+    /** ZeroMQ-style ingestion: copy records into bundles on arrival. */
+    bool copy_at_ingest = false;
+
+    /** Records per bundle. */
+    uint32_t bundle_records = 100000;
+
+    /** Stop after this many records. */
+    uint64_t total_records = 1000000;
+
+    /**
+     * Offered record rate (records/sec); 0 means NIC-limited (the
+     * sender pushes as fast as the link allows).
+     */
+    double offered_rate = 0;
+
+    /**
+     * Watermark cadence: 0 emits a watermark at every window
+     * boundary; k > 0 emits one every k bundles (Fig 10b sweeps
+     * this to delay window closure).
+     */
+    uint32_t bundles_per_watermark = 0;
+};
+
+/** Simulated sender + NIC + ingestion loop. */
+class Source
+{
+  public:
+    Source(Engine &eng, pipeline::Pipeline &pipe, Generator &gen,
+           pipeline::Operator *sink, SourceConfig cfg, int sink_port = 0)
+        : eng_(eng), pipe_(pipe), gen_(gen), sink_(sink), cfg_(cfg),
+          sink_port_(sink_port)
+    {
+        sbhbm_assert(sink != nullptr, "source needs a sink operator");
+        sbhbm_assert(cfg_.nic_bw > 0, "NIC bandwidth must be positive");
+    }
+
+    Source(const Source &) = delete;
+    Source &operator=(const Source &) = delete;
+
+    /** Begin ingesting at the current virtual time. */
+    void
+    start()
+    {
+        sbhbm_assert(!started_, "source started twice");
+        started_ = true;
+        last_delivery_ = eng_.machine().now();
+        scheduleNext();
+    }
+
+    uint64_t recordsIngested() const { return records_ingested_; }
+    uint64_t bundlesIngested() const { return bundles_ingested_; }
+    bool finished() const { return finished_; }
+
+    /** One ingestion checkpoint: cumulative records at a sim time. */
+    struct Checkpoint
+    {
+        SimTime t;
+        uint64_t records;
+    };
+
+    /**
+     * Per-bundle ingestion checkpoints. The slope of the middle of
+     * this series is the *sustained* ingestion rate: under
+     * back-pressure the source paces to the engine's service rate, so
+     * excluding the initial burst (in-flight budget filling) and the
+     * final drain gives the steady-state throughput the paper plots.
+     */
+    const std::vector<Checkpoint> &checkpoints() const { return marks_; }
+
+    /**
+     * Sustained records/sec over the [lo, hi] fraction of the run.
+     * The default skips the first 60%: before back-pressure engages,
+     * the source bursts at NIC rate while the in-flight budget fills,
+     * which is not the steady state.
+     */
+    double
+    sustainedRate(double lo = 0.6, double hi = 0.98) const
+    {
+        if (marks_.size() < 4)
+            return finished_at_ > 0
+                       ? static_cast<double>(records_ingested_)
+                             / simToSeconds(finished_at_)
+                       : 0.0;
+        const size_t i0 = static_cast<size_t>(
+            lo * static_cast<double>(marks_.size() - 1));
+        const size_t i1 = static_cast<size_t>(
+            hi * static_cast<double>(marks_.size() - 1));
+        const Checkpoint &a = marks_[i0];
+        const Checkpoint &b = marks_[std::max(i1, i0 + 1)];
+        const double dt = simToSeconds(b.t - a.t);
+        return dt > 0
+                   ? static_cast<double>(b.records - a.records) / dt
+                   : 0.0;
+    }
+
+    /** Simulated time at which the final watermark was delivered. */
+    SimTime finishedAt() const { return finished_at_; }
+
+    /** Callback invoked once all records (and the final wm) are in. */
+    void onFinished(std::function<void()> fn) { on_finished_ = std::move(fn); }
+
+  private:
+    void
+    scheduleNext()
+    {
+        if (records_ingested_ >= cfg_.total_records) {
+            all_delivered_ = true;
+            // finish() fires from forward() once the ingestion stage
+            // drains; handle the empty-stream edge case here.
+            if (next_forward_seq_ == next_deliver_seq_)
+                finish();
+            return;
+        }
+        // While the pipeline lags (late output — or no output yet, so
+        // lateness cannot be judged) the in-flight budget tightens to
+        // the soft cap: backlog stays around a window's worth and
+        // ingestion paces itself to the engine's service rate. A
+        // pipeline that keeps up gets the full budget.
+        const bool conservative =
+            outputTooLate() || pipe_.windowsExternalized() == 0;
+        const bool over = conservative ? eng_.softBackpressured()
+                                       : eng_.backpressured();
+        if (over) {
+            // Poll again shortly; the sender buffers meanwhile. Guard
+            // against a stall that can never clear: if the engine has
+            // been back-pressured for many window lengths, the
+            // in-flight budget is too small to ever close a window
+            // (every held bundle waits on a watermark only we can
+            // emit) — a configuration error, not a transient.
+            const SimTime now = eng_.machine().now();
+            if (backpressured_since_ == 0)
+                backpressured_since_ = now;
+            const SimTime limit =
+                std::max<SimTime>(100 * pipe_.windows().width,
+                                  10 * kNsPerSec);
+            if (now - backpressured_since_ > limit) {
+                sbhbm_fatal(
+                    "ingestion back-pressured for %.1f s: "
+                    "max_inflight_bundles (%u) cannot cover one "
+                    "window; raise it or shrink the window",
+                    simToSeconds(now - backpressured_since_),
+                    eng_.config().max_inflight_bundles);
+            }
+            // While the sender is paused no record with an earlier
+            // timestamp can ever arrive (event time == delivery
+            // time), so the watermark may advance to "now" — exactly
+            // the periodic watermarks real sources emit when idle.
+            // Without this, a throttled pipeline could never close
+            // the window it is being throttled for.
+            advanceIdleWatermark();
+            eng_.machine().after(kNsPerMs, [this] { scheduleNext(); });
+            return;
+        }
+        backpressured_since_ = 0;
+
+        const auto n = static_cast<uint32_t>(
+            std::min<uint64_t>(cfg_.bundle_records,
+                               cfg_.total_records - records_ingested_));
+        const uint64_t bytes = uint64_t{n} * gen_.cols() * sizeof(uint64_t);
+        double dt_sec = static_cast<double>(bytes) / cfg_.nic_bw;
+        if (cfg_.offered_rate > 0) {
+            dt_sec = std::max(dt_sec,
+                              static_cast<double>(n) / cfg_.offered_rate);
+        }
+        eng_.machine().after(secondsToSim(dt_sec),
+                             [this, n] { deliver(n); });
+    }
+
+    /**
+     * Delay-based throttle (paper §5: the engine "dynamically starts
+     * or stops pulling data from data source"): stop pulling while
+     * the oldest unexternalized window is already running late, so a
+     * slower-than-ingress pipeline settles at its service rate
+     * instead of queueing unboundedly toward the delay target.
+     */
+    bool
+    outputTooLate() const
+    {
+        if (eng_.inflightBundles() == 0)
+            return false; // nothing queued; lag cannot be our fault
+        const auto &spec = pipe_.windows();
+        const SimTime deadline =
+            spec.end(pipe_.targetWindow())
+            + std::min<SimTime>(
+                  static_cast<SimTime>(
+                      0.8
+                      * static_cast<double>(eng_.config().target_delay)),
+                  3 * spec.width);
+        return eng_.machine().now() > deadline;
+    }
+
+    void
+    deliver(uint32_t n)
+    {
+        const SimTime now = eng_.machine().now();
+        auto *b = columnar::Bundle::create(eng_.memory(), gen_.cols(), n);
+        sbhbm_assert(last_delivery_ >= emitted_wm_,
+                     "source would violate its own watermark");
+        gen_.fill(*b, n, last_delivery_, now);
+        last_delivery_ = now;
+        records_ingested_ += n;
+        ++bundles_ingested_;
+        marks_.push_back(Checkpoint{now, records_ingested_});
+
+        eng_.noteBundleIn();
+        b->setOnDestroy([this] { eng_.noteBundleOut(); });
+
+        auto handle = columnar::BundleHandle::adopt(b);
+        const EventTime min_ts = handle->row(0)[gen_.tsCol()];
+        const EventTime end_ts = now;
+        const uint64_t seq = next_deliver_seq_++;
+
+        // The NIC keeps streaming while ingestion bookkeeping runs.
+        scheduleNext();
+
+        if (cfg_.copy_at_ingest) {
+            // ZeroMQ path: one ingestion-copy task per bundle (read
+            // the message, write the bundle), then hand downstream.
+            const uint64_t bytes = handle->dataBytes();
+            eng_.exec().spawn(
+                runtime::ImpactTag::kHigh,
+                [bytes, n](sim::CostLog &log) {
+                    log.seq(sim::Tier::kDram, 2 * bytes);
+                    log.cpu(sim::cost::kIngestNsPerBundle
+                            + 2.0 * static_cast<double>(n));
+                },
+                [this, seq, handle, min_ts, end_ts]() mutable {
+                    forward(seq, std::move(handle), min_ts, end_ts);
+                });
+        } else {
+            // RDMA path: pre-allocated bundle, no copy; just the
+            // bookkeeping cost.
+            eng_.exec().spawn(
+                runtime::ImpactTag::kHigh,
+                [](sim::CostLog &log) {
+                    log.cpu(sim::cost::kIngestNsPerBundle);
+                },
+                [this, seq, handle, min_ts, end_ts]() mutable {
+                    forward(seq, std::move(handle), min_ts, end_ts);
+                });
+        }
+    }
+
+    /**
+     * Hand bundles downstream strictly in NIC order, so a watermark
+     * can never overtake a bundle still in the ingestion stage.
+     */
+    void
+    forward(uint64_t seq, columnar::BundleHandle handle, EventTime min_ts,
+            EventTime end_ts)
+    {
+        ready_.emplace(seq, Ready{std::move(handle), min_ts, end_ts});
+        while (!ready_.empty()
+               && ready_.begin()->first == next_forward_seq_) {
+            Ready r = std::move(ready_.begin()->second);
+            ready_.erase(ready_.begin());
+            ++next_forward_seq_;
+            ++bundles_forwarded_;
+            sink_->receive(
+                pipeline::Msg::ofBundle(std::move(r.handle), r.min_ts),
+                sink_port_);
+            maybeEmitWatermark(r.end_ts);
+        }
+        if (all_delivered_ && ready_.empty()
+            && next_forward_seq_ == next_deliver_seq_) {
+            finish();
+        }
+    }
+
+    /** Watermark progress while the sender is paused. */
+    void
+    advanceIdleWatermark()
+    {
+        // Only once every delivered bundle has been forwarded (a
+        // watermark must not overtake a bundle inside the ingestion
+        // stage), and only in boundary-watermark mode: delayed
+        // watermarks (Fig 10b) must stay delayed.
+        if (cfg_.bundles_per_watermark > 0)
+            return;
+        if (!ready_.empty() || next_forward_seq_ != next_deliver_seq_)
+            return;
+        const SimTime now = eng_.machine().now();
+        maybeEmitWatermark(now);
+        // Records delivered after the stall must be stamped after the
+        // watermark just emitted: advance the generator's time base
+        // past the idle gap (no data arrived during it).
+        last_delivery_ = std::max(last_delivery_, now);
+    }
+
+    /** @param up_to all forwarded records have timestamps < up_to. */
+    void
+    maybeEmitWatermark(EventTime up_to)
+    {
+        if (cfg_.bundles_per_watermark > 0) {
+            if (bundles_forwarded_ - last_wm_bundle_
+                >= cfg_.bundles_per_watermark) {
+                last_wm_bundle_ = bundles_forwarded_;
+                emitWatermark(up_to);
+            }
+            return;
+        }
+        // Default: watermark at every crossed window boundary.
+        const auto &spec = pipe_.windows();
+        const columnar::WindowId w = spec.windowOf(up_to);
+        if (w > last_wm_window_) {
+            last_wm_window_ = w;
+            emitWatermark(spec.start(w));
+        }
+    }
+
+    void
+    emitWatermark(EventTime ts)
+    {
+        if (ts == 0)
+            return;
+        emitted_wm_ = std::max(emitted_wm_, ts);
+        sink_->receiveWatermark(columnar::Watermark{ts}, sink_port_);
+    }
+
+    void
+    finish()
+    {
+        if (finished_)
+            return;
+        finished_ = true;
+        finished_at_ = eng_.machine().now();
+        // Final watermark: past the end of the last touched window so
+        // every open window closes and drains.
+        const auto &spec = pipe_.windows();
+        emitWatermark(spec.end(spec.windowOf(last_delivery_)) + 1);
+        if (on_finished_)
+            on_finished_();
+    }
+
+    Engine &eng_;
+    pipeline::Pipeline &pipe_;
+    Generator &gen_;
+    pipeline::Operator *sink_;
+    SourceConfig cfg_;
+    int sink_port_;
+
+    bool started_ = false;
+    bool finished_ = false;
+    bool all_delivered_ = false;
+    SimTime finished_at_ = 0;
+    SimTime last_delivery_ = 0;
+    SimTime backpressured_since_ = 0;
+    EventTime emitted_wm_ = 0;
+    struct Ready
+    {
+        columnar::BundleHandle handle;
+        EventTime min_ts;
+        EventTime end_ts;
+    };
+
+    uint64_t records_ingested_ = 0;
+    uint64_t bundles_ingested_ = 0;
+    std::vector<Checkpoint> marks_;
+    uint64_t next_deliver_seq_ = 0;
+    uint64_t next_forward_seq_ = 0;
+    uint64_t bundles_forwarded_ = 0;
+    std::map<uint64_t, Ready> ready_;
+    uint64_t last_wm_bundle_ = 0;
+    columnar::WindowId last_wm_window_ = 0;
+    std::function<void()> on_finished_;
+};
+
+} // namespace sbhbm::ingest
+
+#endif // SBHBM_INGEST_SOURCE_H

@@ -1,0 +1,588 @@
+/**
+ * @file
+ * The KPA streaming primitives of Table 2.
+ *
+ * Every primitive does its work functionally on host data *and*
+ * charges the simulated cost of the same work to a CostLog:
+ *
+ *   | primitive    | access pattern charged                        |
+ *   |--------------|-----------------------------------------------|
+ *   | Extract      | seq read bundle, seq write KPA                |
+ *   | Materialize  | seq read KPA, random read records, seq write  |
+ *   | KeySwap      | seq r/w KPA, random read records              |
+ *   | Sort         | seq r/w KPA per merge pass                    |
+ *   | Merge        | seq read both KPAs, seq write output          |
+ *   | Join         | seq read both KPAs, random read matches, emit |
+ *   | Select       | seq read input, seq write survivors           |
+ *   | Partition    | seq read KPA, seq write partitions            |
+ *   | Reduce keyed | seq read KPA, random read value columns, emit |
+ *   | Reduce unkeyed | seq read bundle, emit                       |
+ *
+ * All primitives allocate outputs through HybridMemory so placement,
+ * capacity pressure and memory-mode translation apply uniformly.
+ */
+
+#ifndef SBHBM_KPA_PRIMITIVES_H
+#define SBHBM_KPA_PRIMITIVES_H
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "algo/sort.h"
+#include "columnar/bundle.h"
+#include "common/logging.h"
+#include "kpa/kpa.h"
+#include "mem/hybrid_memory.h"
+#include "sim/cost_model.h"
+#include "sim/traffic.h"
+
+namespace sbhbm::kpa {
+
+namespace cost = sim::cost;
+using sim::AccessPattern;
+
+/** Execution context every primitive charges against. */
+struct Ctx
+{
+    mem::HybridMemory &hm;
+    sim::CostLog &log;
+
+    /**
+     * Traffic multiplier applied to KPA-side bytes in grouping
+     * primitives. 1.0 for real KPAs (16-byte pairs). The NoKPA
+     * ablation (paper §7.3, "StreamBox-HBM Caching NoKPA") groups
+     * full records instead: every sort/merge pass moves whole rows,
+     * so the engine sets this to record_bytes / 16.
+     */
+    double group_scale = 1.0;
+
+    /** Scale KPA-side traffic by group_scale. */
+    uint64_t
+    scaled(uint64_t kpa_bytes) const
+    {
+        return static_cast<uint64_t>(static_cast<double>(kpa_bytes)
+                                     * group_scale);
+    }
+
+    /**
+     * Charge grouping-kernel time: vectorized on 16-byte pairs; when
+     * grouping full records (NoKPA) the kernels degrade to scalar
+     * tuple moves, slower by the tuple width and the generic-tuple
+     * factor.
+     */
+    void
+    kernel(double vector_ns) const
+    {
+        if (group_scale == 1.0) {
+            log.cpuVector(vector_ns);
+        } else {
+            log.cpu(vector_ns * group_scale
+                    * cost::kGenericTupleFactor);
+        }
+    }
+
+    /** Propagate the grouping-state scale into a placement. */
+    Placement
+    place(Placement p) const
+    {
+        p.entry_scale = group_scale;
+        return p;
+    }
+};
+
+/** Bytes a random access to one full record touches (>= one line). */
+inline uint64_t
+rowTouchBytes(uint32_t cols)
+{
+    return std::max<uint64_t>(cost::kLineBytes,
+                              uint64_t{cols} * sizeof(uint64_t));
+}
+
+// -------------------------------------------------------------------
+// Maintenance primitives
+// -------------------------------------------------------------------
+
+/**
+ * Extract (Table 2): create a new KPA from a record bundle, copying
+ * column @p key_col and synthesizing record pointers.
+ */
+inline KpaPtr
+extract(Ctx ctx, Bundle &src, ColumnId key_col, Placement place)
+{
+    sbhbm_assert(key_col < src.cols(), "key column %u out of %u", key_col,
+                 src.cols());
+    KpaPtr out = Kpa::create(ctx.hm, src.size(), ctx.place(place));
+    for (uint32_t r = 0; r < src.size(); ++r) {
+        uint64_t *row = src.row(r);
+        out->push(row[key_col], row);
+    }
+    out->setResidentColumn(key_col);
+    out->setSorted(src.size() <= 1);
+    out->addSource(&src);
+
+    ctx.hm.charge(ctx.log, src.tier(), AccessPattern::kSequential,
+                  src.dataBytes());
+    ctx.hm.charge(ctx.log, out->tier(), AccessPattern::kSequential,
+                  ctx.scaled(out->bytes()));
+    ctx.kernel(cost::kExtractNsPerRec * src.size());
+    return out;
+}
+
+/**
+ * KeySwap (Table 2): replace the resident keys with nonresident
+ * column @p new_col, dereferencing each record pointer (random).
+ */
+inline void
+keySwap(Ctx ctx, Kpa &k, ColumnId new_col)
+{
+    if (k.residentColumn() == new_col)
+        return;
+    KpEntry *e = k.entries();
+    for (uint32_t i = 0; i < k.size(); ++i)
+        e[i].key = e[i].row[new_col];
+    k.setResidentColumn(new_col);
+    k.setSorted(k.size() <= 1);
+
+    const uint32_t cols = k.empty() ? 0 : k.recordCols();
+    ctx.hm.charge(ctx.log, mem::Tier::kDram, AccessPattern::kRandom,
+                  uint64_t{k.size()} * rowTouchBytes(cols));
+    ctx.hm.charge(ctx.log, k.tier(), AccessPattern::kSequential,
+                  ctx.scaled(k.bytes()));
+    ctx.kernel(cost::kSwapNsPerRec * k.size());
+}
+
+/**
+ * Materialize (Table 2): emit a bundle of full records in KPA order.
+ */
+inline BundleHandle
+materialize(Ctx ctx, const Kpa &k)
+{
+    sbhbm_assert(!k.empty(), "materializing an empty KPA");
+    const uint32_t cols = k.recordCols();
+    Bundle *out = Bundle::create(ctx.hm, cols, k.size());
+    const KpEntry *e = k.entries();
+    for (uint32_t i = 0; i < k.size(); ++i)
+        out->append(e[i].row);
+
+    ctx.hm.charge(ctx.log, k.tier(), AccessPattern::kSequential,
+                  k.bytes());
+    ctx.hm.charge(ctx.log, mem::Tier::kDram, AccessPattern::kRandom,
+                  uint64_t{k.size()} * rowTouchBytes(cols));
+    ctx.hm.charge(ctx.log, out->tier(), AccessPattern::kSequential,
+                  out->dataBytes());
+    ctx.kernel(cost::kSwapNsPerRec * k.size());
+    return BundleHandle::adopt(out);
+}
+
+/**
+ * Rewrite resident keys in place (e.g. the external join of YSB maps
+ * ad_id -> campaign_id without touching full records).
+ */
+template <typename KeyFn>
+inline void
+updateKeysInPlace(Ctx ctx, Kpa &k, KeyFn &&fn)
+{
+    KpEntry *e = k.entries();
+    for (uint32_t i = 0; i < k.size(); ++i)
+        e[i].key = fn(e[i].key);
+    k.setResidentColumn(columnar::kNoColumn); // keys no longer mirror a column
+    k.setSorted(k.size() <= 1);
+    ctx.hm.charge(ctx.log, k.tier(), AccessPattern::kSequential,
+                  ctx.scaled(k.bytes()));
+    ctx.kernel(cost::kSwapNsPerRec * k.size());
+}
+
+/**
+ * Write the (possibly dirty) resident keys back to record column
+ * @p col (paper §4.3 optimization 2).
+ */
+inline void
+writeBackKeys(Ctx ctx, Kpa &k, ColumnId col)
+{
+    KpEntry *e = k.entries();
+    for (uint32_t i = 0; i < k.size(); ++i)
+        e[i].row[col] = e[i].key;
+    k.setResidentColumn(col);
+    const uint32_t cols = k.empty() ? 0 : k.recordCols();
+    ctx.hm.charge(ctx.log, mem::Tier::kDram, AccessPattern::kRandom,
+                  uint64_t{k.size()} * rowTouchBytes(cols));
+    ctx.hm.charge(ctx.log, k.tier(), AccessPattern::kSequential,
+                  ctx.scaled(k.bytes()));
+    ctx.kernel(cost::kSwapNsPerRec * k.size());
+}
+
+// -------------------------------------------------------------------
+// Grouping primitives
+// -------------------------------------------------------------------
+
+/**
+ * Sort (Table 2): merge-sort the KPA by resident key in place.
+ * Bitonic block sort plus bottom-up merge passes, all sequential.
+ */
+inline void
+sortKpa(Ctx ctx, Kpa &k)
+{
+    if (k.sorted())
+        return;
+    const size_t n = k.size();
+    if (n > 1) {
+        // Scratch lives on the same tier while the sort runs.
+        mem::Block scratch = ctx.hm.alloc(n * sizeof(KpEntry), k.tier());
+        algo::sortRun(k.entries(), n, static_cast<KpEntry *>(scratch.ptr));
+        ctx.hm.free(scratch);
+
+        const int levels = algo::mergeLevels(n);
+        // One block-sort pass plus one pass per merge level, each
+        // streaming the KPA in and out (write-allocate included).
+        ctx.hm.charge(ctx.log, k.tier(), AccessPattern::kSequential,
+                      ctx.scaled(uint64_t(1 + levels)
+                                 * cost::kSortBytesPerElemLevel * n));
+        ctx.kernel(cost::kBitonicStages * cost::kBitonicNsPerElemStage
+                       * static_cast<double>(n)
+                   + cost::kMergeNsPerElem * static_cast<double>(n)
+                         * levels);
+    }
+    k.setSorted(true);
+}
+
+/**
+ * Merge (Table 2): merge two sorted KPAs into a new sorted KPA.
+ */
+inline KpaPtr
+merge(Ctx ctx, const Kpa &a, const Kpa &b, Placement place)
+{
+    sbhbm_assert(a.sorted() && b.sorted(), "merge requires sorted inputs");
+    KpaPtr out = Kpa::create(ctx.hm, a.size() + b.size(),
+                             ctx.place(place));
+    algo::mergeRuns(a.entries(), a.size(), b.entries(), b.size(),
+                    out->entries());
+    out->setSizeUnsafe(a.size() + b.size());
+    out->setSorted(true);
+    out->setResidentColumn(a.residentColumn() == b.residentColumn()
+                               ? a.residentColumn()
+                               : columnar::kNoColumn);
+    out->adoptSourcesFrom(a);
+    out->adoptSourcesFrom(b);
+
+    ctx.hm.charge(ctx.log, a.tier(), AccessPattern::kSequential,
+                  ctx.scaled(a.bytes()));
+    ctx.hm.charge(ctx.log, b.tier(), AccessPattern::kSequential,
+                  ctx.scaled(b.bytes()));
+    // Output pays write-allocate: RFO read + writeback.
+    ctx.hm.charge(ctx.log, out->tier(), AccessPattern::kSequential,
+                  ctx.scaled(2 * out->bytes()));
+    ctx.kernel(cost::kMergeNsPerElem
+               * static_cast<double>(a.size() + b.size()));
+    return out;
+}
+
+/**
+ * Join (Table 2): sort-merge join two sorted KPAs by resident key.
+ * Emits one record per key match: {key, l payload cols, r payload
+ * cols}, reading payloads through the record pointers (random).
+ */
+inline BundleHandle
+join(Ctx ctx, const Kpa &l, const Kpa &r,
+     const std::vector<ColumnId> &l_cols,
+     const std::vector<ColumnId> &r_cols)
+{
+    sbhbm_assert(l.sorted() && r.sorted(), "join requires sorted inputs");
+    const uint32_t out_cols =
+        1 + static_cast<uint32_t>(l_cols.size() + r_cols.size());
+
+    // Pass 1 (functional only): gather matches.
+    std::vector<std::pair<const KpEntry *, const KpEntry *>> matches;
+    const KpEntry *le = l.entries();
+    const KpEntry *re = r.entries();
+    uint32_t i = 0, j = 0;
+    while (i < l.size() && j < r.size()) {
+        if (le[i].key < re[j].key) {
+            ++i;
+        } else if (re[j].key < le[i].key) {
+            ++j;
+        } else {
+            const uint64_t key = le[i].key;
+            uint32_t i_end = i;
+            while (i_end < l.size() && le[i_end].key == key)
+                ++i_end;
+            uint32_t j_end = j;
+            while (j_end < r.size() && re[j_end].key == key)
+                ++j_end;
+            for (uint32_t x = i; x < i_end; ++x)
+                for (uint32_t y = j; y < j_end; ++y)
+                    matches.emplace_back(&le[x], &re[y]);
+            i = i_end;
+            j = j_end;
+        }
+    }
+
+    const auto m = static_cast<uint32_t>(matches.size());
+    Bundle *out = Bundle::create(ctx.hm, out_cols,
+                                 std::max<uint32_t>(m, 1));
+    for (const auto &[a, b] : matches) {
+        uint64_t *row = out->appendRaw();
+        uint32_t c = 0;
+        row[c++] = a->key;
+        for (ColumnId lc : l_cols)
+            row[c++] = a->row[lc];
+        for (ColumnId rc : r_cols)
+            row[c++] = b->row[rc];
+    }
+
+    ctx.hm.charge(ctx.log, l.tier(), AccessPattern::kSequential,
+                  ctx.scaled(l.bytes()));
+    ctx.hm.charge(ctx.log, r.tier(), AccessPattern::kSequential,
+                  ctx.scaled(r.bytes()));
+    if (m > 0) {
+        const uint32_t lrec = l_cols.empty() ? 0 : l.recordCols();
+        const uint32_t rrec = r_cols.empty() ? 0 : r.recordCols();
+        uint64_t touch = 0;
+        if (!l_cols.empty())
+            touch += uint64_t{m} * rowTouchBytes(lrec);
+        if (!r_cols.empty())
+            touch += uint64_t{m} * rowTouchBytes(rrec);
+        ctx.hm.charge(ctx.log, mem::Tier::kDram, AccessPattern::kRandom,
+                      touch);
+        ctx.hm.charge(ctx.log, out->tier(), AccessPattern::kSequential,
+                      out->dataBytes());
+    }
+    ctx.log.cpuVector(cost::kMergeNsPerElem
+                      * static_cast<double>(l.size() + r.size()));
+    ctx.log.cpu(cost::kEmitNsPerRec * m);
+    return BundleHandle::adopt(out);
+}
+
+/**
+ * Select (Table 2): subset a bundle as a KPA with surviving
+ * key/pointer pairs, evaluating @p pred over full record rows.
+ */
+template <typename Pred>
+inline KpaPtr
+selectFromBundle(Ctx ctx, Bundle &src, ColumnId key_col, Pred &&pred,
+                 Placement place)
+{
+    KpaPtr out = Kpa::create(ctx.hm, src.size(), ctx.place(place));
+    for (uint32_t r = 0; r < src.size(); ++r) {
+        uint64_t *row = src.row(r);
+        if (pred(row))
+            out->push(row[key_col], row);
+    }
+    out->setResidentColumn(key_col);
+    out->setSorted(out->size() <= 1);
+    out->addSource(&src);
+
+    ctx.hm.charge(ctx.log, src.tier(), AccessPattern::kSequential,
+                  src.dataBytes());
+    ctx.hm.charge(ctx.log, out->tier(), AccessPattern::kSequential,
+                  ctx.scaled(out->bytes()));
+    ctx.kernel(cost::kSelectNsPerRec * src.size());
+    return out;
+}
+
+/** Select over an existing KPA, filtering on the resident key. */
+template <typename Pred>
+inline KpaPtr
+selectFromKpa(Ctx ctx, const Kpa &src, Pred &&pred, Placement place)
+{
+    KpaPtr out = Kpa::create(ctx.hm, std::max<uint32_t>(src.size(), 1),
+                             ctx.place(place));
+    const KpEntry *e = src.entries();
+    for (uint32_t i = 0; i < src.size(); ++i)
+        if (pred(e[i].key))
+            out->push(e[i].key, e[i].row);
+    out->setResidentColumn(src.residentColumn());
+    out->setSorted(src.sorted());
+    out->adoptSourcesFrom(src);
+
+    ctx.hm.charge(ctx.log, src.tier(), AccessPattern::kSequential,
+                  ctx.scaled(src.bytes()));
+    ctx.hm.charge(ctx.log, out->tier(), AccessPattern::kSequential,
+                  ctx.scaled(out->bytes()));
+    ctx.kernel(cost::kSelectNsPerRec * src.size());
+    return out;
+}
+
+/** One output partition of partitionByRange. */
+struct RangePartition
+{
+    uint64_t range = 0; //!< key / range_width
+    KpaPtr part;
+};
+
+/**
+ * Partition (Table 2): split a KPA by ranges of resident keys
+ * (windowing uses the timestamp column as key and the window length
+ * as range width). Outputs inherit the input's source links.
+ */
+inline std::vector<RangePartition>
+partitionByRange(Ctx ctx, const Kpa &src, uint64_t range_width,
+                 Placement place)
+{
+    sbhbm_assert(range_width > 0, "zero partition width");
+    // Count entries per range.
+    std::vector<std::pair<uint64_t, uint32_t>> counts; // (range, n)
+    const KpEntry *e = src.entries();
+    for (uint32_t i = 0; i < src.size(); ++i) {
+        const uint64_t rg = e[i].key / range_width;
+        auto it = std::find_if(counts.begin(), counts.end(),
+                               [rg](const auto &p) { return p.first == rg; });
+        if (it == counts.end())
+            counts.emplace_back(rg, 1);
+        else
+            ++it->second;
+    }
+    std::sort(counts.begin(), counts.end());
+
+    std::vector<RangePartition> out;
+    out.reserve(counts.size());
+    for (const auto &[rg, n] : counts) {
+        RangePartition rp;
+        rp.range = rg;
+        rp.part = Kpa::create(ctx.hm, n, ctx.place(place));
+        rp.part->setResidentColumn(src.residentColumn());
+        rp.part->adoptSourcesFrom(src);
+        out.push_back(std::move(rp));
+    }
+    for (uint32_t i = 0; i < src.size(); ++i) {
+        const uint64_t rg = e[i].key / range_width;
+        for (auto &rp : out) {
+            if (rp.range == rg) {
+                rp.part->push(e[i].key, e[i].row);
+                break;
+            }
+        }
+    }
+    for (auto &rp : out)
+        rp.part->setSorted(src.sorted());
+
+    ctx.hm.charge(ctx.log, src.tier(), AccessPattern::kSequential,
+                  ctx.scaled(src.bytes()));
+    for (const auto &rp : out)
+        ctx.hm.charge(ctx.log, rp.part->tier(), AccessPattern::kSequential,
+                      ctx.scaled(rp.part->bytes()));
+    ctx.kernel(cost::kPartitionNsPerRec * src.size());
+    return out;
+}
+
+// -------------------------------------------------------------------
+// Reduction primitives
+// -------------------------------------------------------------------
+
+/**
+ * Iterate contiguous key runs of a sorted KPA:
+ * fn(key, first_entry, run_length). Functional part of keyed
+ * reduction; pair with chargeKeyedReduce.
+ */
+template <typename Fn>
+inline void
+forEachKeyRunRange(const Kpa &k, uint32_t lo, uint32_t hi, Fn &&fn)
+{
+    sbhbm_assert(k.sorted(), "keyed reduction requires a sorted KPA");
+    sbhbm_assert(hi <= k.size() && lo <= hi, "bad key-run range");
+    sbhbm_assert(lo == 0 || lo == hi
+                     || k.entries()[lo].key != k.entries()[lo - 1].key,
+                 "range start splits a key run");
+    const KpEntry *e = k.entries();
+    uint32_t i = lo;
+    while (i < hi) {
+        uint32_t j = i + 1;
+        while (j < hi && e[j].key == e[i].key)
+            ++j;
+        fn(e[i].key, &e[i], j - i);
+        i = j;
+    }
+}
+
+template <typename Fn>
+inline void
+forEachKeyRun(const Kpa &k, Fn &&fn)
+{
+    forEachKeyRunRange(k, 0, k.size(), std::forward<Fn>(fn));
+}
+
+/**
+ * Split [0, size) into at most @p want ranges whose boundaries fall
+ * on key-run boundaries, so per-key reductions can run as parallel
+ * shards (paper Fig 4a: "the implementation performs each step in
+ * parallel with all available threads"). Returns the cut points,
+ * starting with 0 and ending with size.
+ */
+inline std::vector<uint32_t>
+keyRunCuts(const Kpa &k, uint32_t want)
+{
+    sbhbm_assert(k.sorted(), "cuts need a sorted KPA");
+    sbhbm_assert(want >= 1, "need at least one shard");
+    const KpEntry *e = k.entries();
+    const uint32_t n = k.size();
+    std::vector<uint32_t> cuts{0};
+    for (uint32_t s = 1; s < want; ++s) {
+        uint32_t pos = static_cast<uint32_t>(uint64_t{n} * s / want);
+        while (pos < n && pos > 0 && e[pos].key == e[pos - 1].key)
+            ++pos;
+        if (pos > cuts.back() && pos < n)
+            cuts.push_back(pos);
+    }
+    cuts.push_back(n);
+    return cuts;
+}
+
+/**
+ * Charge a keyed reduction (Table 2 "Keyed"): sequential KPA scan,
+ * random dereference of value columns, and output emission.
+ *
+ * @param values_touched number of nonresident column dereferences
+ *        (usually the KPA size; 0 when the reduction needs keys only).
+ * @param out_records / out_cols shape of the emitted bundle.
+ */
+inline void
+chargeKeyedReduceRange(Ctx ctx, const Kpa &k, uint64_t scanned,
+                       uint64_t values_touched, uint64_t out_records,
+                       uint32_t out_cols)
+{
+    ctx.hm.charge(ctx.log, k.tier(), AccessPattern::kSequential,
+                  ctx.scaled(scanned * sizeof(KpEntry)));
+    if (values_touched > 0) {
+        const uint32_t cols = k.recordCols();
+        ctx.hm.charge(ctx.log, mem::Tier::kDram, AccessPattern::kRandom,
+                      values_touched * rowTouchBytes(cols));
+    }
+    if (out_records > 0) {
+        ctx.hm.charge(ctx.log, mem::Tier::kDram,
+                      AccessPattern::kSequential,
+                      out_records * out_cols * sizeof(uint64_t));
+    }
+    ctx.log.cpu(cost::kReduceNsPerRec * static_cast<double>(scanned)
+                + cost::kEmitNsPerRec * static_cast<double>(out_records));
+}
+
+inline void
+chargeKeyedReduce(Ctx ctx, const Kpa &k, uint64_t values_touched,
+                  uint64_t out_records, uint32_t out_cols)
+{
+    chargeKeyedReduceRange(ctx, k, k.size(), values_touched, out_records,
+                           out_cols);
+}
+
+/**
+ * Charge an unkeyed reduction over a full bundle (Table 2
+ * "Unkeyed"): one sequential pass over the record data.
+ */
+inline void
+chargeUnkeyedReduce(Ctx ctx, const Bundle &b, uint64_t out_records,
+                    uint32_t out_cols)
+{
+    ctx.hm.charge(ctx.log, b.tier(), AccessPattern::kSequential,
+                  b.dataBytes());
+    if (out_records > 0) {
+        ctx.hm.charge(ctx.log, mem::Tier::kDram,
+                      AccessPattern::kSequential,
+                      out_records * out_cols * sizeof(uint64_t));
+    }
+    ctx.log.cpu(cost::kReduceNsPerRec * b.size()
+                + cost::kEmitNsPerRec * out_records);
+}
+
+} // namespace sbhbm::kpa
+
+#endif // SBHBM_KPA_PRIMITIVES_H

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Cogroup (Table 1): per temporal window, group both input streams by
+ * a shared key and hand each key's two value groups to a combiner.
+ *
+ * Implementation per Fig 4a generalized to two inputs: each side
+ * accumulates sorted KPA runs per window; at window close both sides
+ * merge (reusing the KPA Merge primitive) and a single pass
+ * co-iterates the two sorted KPAs' key runs (the same one-pass scan
+ * Join uses), invoking the user combiner with both runs.
+ */
+
+#ifndef SBHBM_PIPELINE_COGROUP_H
+#define SBHBM_PIPELINE_COGROUP_H
+
+#include <array>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pipeline/aggregations.h"
+#include "pipeline/operator.h"
+
+namespace sbhbm::pipeline {
+
+/** Two-stream keyed cogroup with per-window close. */
+class CogroupOp : public Operator
+{
+  public:
+    /**
+     * Combiner: key plus the key's entries from each side (either run
+     * may be empty — cogroup is a full outer grouping). Emits output
+     * rows through the sink.
+     */
+    using Combiner = std::function<void(
+        uint64_t key, const kpa::KpEntry *left, size_t n_left,
+        const kpa::KpEntry *right, size_t n_right, RowSink &sink)>;
+
+    CogroupOp(Pipeline &pipe, std::string name, columnar::ColumnId key_col,
+              uint32_t out_cols, Combiner combine)
+        : Operator(pipe, std::move(name), /*num_ports=*/2),
+          key_col_(key_col), out_cols_(out_cols),
+          combine_(std::move(combine))
+    {
+        sbhbm_assert(combine_ != nullptr, "cogroup needs a combiner");
+    }
+
+  protected:
+    void
+    process(Msg msg, int port) override
+    {
+        sbhbm_assert(msg.isKpa() && msg.has_window,
+                     "CogroupOp expects windowed KPAs");
+        const columnar::WindowId w = msg.window;
+        const ImpactTag tag = classify(msg.min_ts);
+        spawnTracked(tag, [this, w, port, msg = std::move(msg)](
+                              sim::CostLog &log, Emitter &) mutable {
+            sbhbm_assert(w >= min_open_, "%s: late data for window %llu",
+                         name().c_str(), (unsigned long long)w);
+            auto ctx = makeCtx(log, msg.kpa->recordCols());
+            kpa::keySwap(ctx, *msg.kpa, key_col_);
+            kpa::sortKpa(ctx, *msg.kpa);
+            state_[w].runs[port].push_back(std::move(msg.kpa));
+        });
+    }
+
+    void
+    onWatermark(Watermark wm) override
+    {
+        const columnar::WindowSpec spec = pipe_.windows();
+        std::vector<columnar::WindowId> ready;
+        for (const auto &[w, st] : state_)
+            if (spec.end(w) <= wm.ts)
+                ready.push_back(w);
+        for (columnar::WindowId w : ready)
+            startClose(w);
+    }
+
+    bool
+    readyToForward(Watermark wm) const override
+    {
+        const columnar::WindowSpec spec = pipe_.windows();
+        for (const auto &[w, st] : state_)
+            if (spec.end(w) <= wm.ts)
+                return false;
+        for (const auto &[w, n] : closing_)
+            if (spec.end(w) <= wm.ts)
+                return false;
+        return true;
+    }
+
+  private:
+    struct WindowState
+    {
+        std::vector<kpa::KpaPtr> runs[2];
+    };
+
+    void
+    startClose(columnar::WindowId w)
+    {
+        auto it = state_.find(w);
+        sbhbm_assert(it != state_.end(), "closing unknown window");
+        min_open_ = std::max(min_open_, w + 1);
+        auto st = std::make_shared<WindowState>(std::move(it->second));
+        state_.erase(it);
+        closing_[w] = 2; // two sides to merge
+
+        auto merged = std::make_shared<std::array<kpa::KpaPtr, 2>>();
+        for (int side = 0; side < 2; ++side)
+            mergeSide(w, st, merged, side);
+    }
+
+    /** Pairwise-merge one side's runs, then maybe run the combiner. */
+    void
+    mergeSide(columnar::WindowId w,
+              const std::shared_ptr<WindowState> &st,
+              const std::shared_ptr<std::array<kpa::KpaPtr, 2>> &merged,
+              int side)
+    {
+        spawnTracked(
+            ImpactTag::kUrgent,
+            [this, st, merged, side](sim::CostLog &log, Emitter &) {
+                auto &runs = st->runs[side];
+                auto ctx = makeCtx(
+                    log, runs.empty() || runs[0]->sources().empty()
+                             ? 1
+                             : runs[0]->recordCols());
+                while (runs.size() > 1) {
+                    auto merged_pair = kpa::merge(
+                        ctx, *runs[runs.size() - 2],
+                        *runs[runs.size() - 1],
+                        eng_.placeKpa(
+                            ImpactTag::kUrgent,
+                            (uint64_t{runs[runs.size() - 2]->size()}
+                             + runs[runs.size() - 1]->size())
+                                * sizeof(kpa::KpEntry)));
+                    runs.pop_back();
+                    runs.pop_back();
+                    runs.push_back(std::move(merged_pair));
+                }
+                if (!runs.empty())
+                    (*merged)[side] = std::move(runs.front());
+            },
+            [this, w, merged] {
+                if (--closing_[w] == 0)
+                    spawnCombine(w, merged);
+            });
+    }
+
+    /** One pass over both sorted KPAs, calling the combiner per key. */
+    void
+    spawnCombine(columnar::WindowId w,
+                 const std::shared_ptr<std::array<kpa::KpaPtr, 2>> &m)
+    {
+        spawnTracked(
+            ImpactTag::kUrgent,
+            [this, w, m](sim::CostLog &log, Emitter &em) {
+                const kpa::Kpa *l = (*m)[0].get();
+                const kpa::Kpa *r = (*m)[1].get();
+                RowSink sink(out_cols_);
+                coIterate(l, r, sink);
+
+                const uint64_t n = (l ? l->size() : 0)
+                                   + (r ? r->size() : 0);
+                auto ctx = makeCtx(log, 1);
+                if (l)
+                    kpa::chargeKeyedReduceRange(ctx, *l, l->size(),
+                                                l->size(), 0, out_cols_);
+                if (r)
+                    kpa::chargeKeyedReduceRange(ctx, *r, r->size(),
+                                                r->size(), sink.rows(),
+                                                out_cols_);
+                log.cpu(2.0 * static_cast<double>(n));
+
+                BundleHandle out = sink.toBundle(eng_.memory());
+                if (out) {
+                    em.push(Msg::ofBundle(std::move(out),
+                                          pipe_.windows().start(w))
+                                .withWindow(w));
+                }
+            },
+            [this, w, m] {
+                closing_.erase(w);
+                flushWatermarks();
+            });
+    }
+
+    /** Co-iterate two sorted KPAs by key runs (outer cogroup). */
+    void
+    coIterate(const kpa::Kpa *l, const kpa::Kpa *r, RowSink &sink)
+    {
+        const kpa::KpEntry *le = l ? l->entries() : nullptr;
+        const kpa::KpEntry *re = r ? r->entries() : nullptr;
+        uint32_t li = 0, ri = 0;
+        const uint32_t ln = l ? l->size() : 0;
+        const uint32_t rn = r ? r->size() : 0;
+        auto run_len = [](const kpa::KpEntry *e, uint32_t i, uint32_t n) {
+            uint32_t j = i + 1;
+            while (j < n && e[j].key == e[i].key)
+                ++j;
+            return j - i;
+        };
+        while (li < ln || ri < rn) {
+            if (ri >= rn || (li < ln && le[li].key < re[ri].key)) {
+                const uint32_t m = run_len(le, li, ln);
+                combine_(le[li].key, le + li, m, nullptr, 0, sink);
+                li += m;
+            } else if (li >= ln || re[ri].key < le[li].key) {
+                const uint32_t m = run_len(re, ri, rn);
+                combine_(re[ri].key, nullptr, 0, re + ri, m, sink);
+                ri += m;
+            } else {
+                const uint32_t ml = run_len(le, li, ln);
+                const uint32_t mr = run_len(re, ri, rn);
+                combine_(le[li].key, le + li, ml, re + ri, mr, sink);
+                li += ml;
+                ri += mr;
+            }
+        }
+    }
+
+    columnar::ColumnId key_col_;
+    uint32_t out_cols_;
+    Combiner combine_;
+    std::map<columnar::WindowId, WindowState> state_;
+    std::map<columnar::WindowId, int> closing_;
+    columnar::WindowId min_open_ = 0;
+};
+
+} // namespace sbhbm::pipeline
+
+#endif // SBHBM_PIPELINE_COGROUP_H

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Egress: the pipeline sink. Records per-window output delay
+ * (emission time minus window end), advances the pipeline's target
+ * watermark, and counts externalized results.
+ */
+
+#ifndef SBHBM_PIPELINE_EGRESS_H
+#define SBHBM_PIPELINE_EGRESS_H
+
+#include <map>
+#include <utility>
+
+#include "pipeline/operator.h"
+
+namespace sbhbm::pipeline {
+
+/** Terminal operator: measurement + externalization bookkeeping. */
+class EgressOp : public Operator
+{
+  public:
+    explicit EgressOp(Pipeline &pipe, std::string name = "egress")
+        : Operator(pipe, std::move(name))
+    {
+    }
+
+    /** Total result records received. */
+    uint64_t outputRecords() const { return output_records_; }
+
+    /** Result record counts per window. */
+    const std::map<columnar::WindowId, uint64_t> &
+    windowRecords() const
+    {
+        return window_records_;
+    }
+
+  protected:
+    void
+    process(Msg msg, int) override
+    {
+        sbhbm_assert(msg.isBundle(), "EgressOp expects result bundles");
+        const columnar::WindowSpec spec = pipe_.windows();
+        if (msg.has_window) {
+            const columnar::WindowId w = msg.window;
+            if (window_records_.find(w) == window_records_.end()) {
+                // First result for this window: its output delay.
+                const SimTime now = eng_.machine().now();
+                const EventTime end = spec.end(w);
+                eng_.reportOutputDelay(now > end ? now - end : 0);
+            }
+            window_records_[w] += msg.bundle->size();
+            pipe_.noteWindowExternalized(w);
+        }
+        output_records_ += msg.bundle->size();
+    }
+
+    void
+    onWatermark(Watermark wm) override
+    {
+        // Windows entirely before the watermark are done even if they
+        // produced no results.
+        const columnar::WindowSpec spec = pipe_.windows();
+        const columnar::WindowId w = spec.windowOf(wm.ts);
+        if (w > 0)
+            pipe_.noteWindowExternalized(w - 1);
+    }
+
+  private:
+    uint64_t output_records_ = 0;
+    std::map<columnar::WindowId, uint64_t> window_records_;
+};
+
+} // namespace sbhbm::pipeline
+
+#endif // SBHBM_PIPELINE_EGRESS_H

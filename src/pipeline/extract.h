@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Extract operator: the first grouping-adjacent step of most
+ * pipelines. Converts each ingested record bundle into a KPA whose
+ * resident column is the grouping key (paper §4.3: "Prior to
+ * executing any primitive, StreamBox-HBM examines it and transforms
+ * the input of grouping primitives").
+ */
+
+#ifndef SBHBM_PIPELINE_EXTRACT_H
+#define SBHBM_PIPELINE_EXTRACT_H
+
+#include <string>
+#include <utility>
+
+#include "pipeline/operator.h"
+
+namespace sbhbm::pipeline {
+
+/** Bundle -> KPA(key_col), one task per bundle. */
+class ExtractOp : public Operator
+{
+  public:
+    ExtractOp(Pipeline &pipe, std::string name, columnar::ColumnId key_col)
+        : Operator(pipe, std::move(name)), key_col_(key_col)
+    {
+    }
+
+  protected:
+    void
+    process(Msg msg, int) override
+    {
+        sbhbm_assert(msg.isBundle(), "ExtractOp expects record bundles");
+        const ImpactTag tag = classify(msg.min_ts);
+        spawnTracked(tag, [this, tag, msg = std::move(msg)](
+                              sim::CostLog &log, Emitter &em) mutable {
+            auto ctx = makeCtx(log, msg.bundle->cols());
+            const auto place = eng_.placeKpa(
+                tag,
+                uint64_t{msg.bundle->size()} * sizeof(columnar::KpEntry));
+            auto out = kpa::extract(ctx, *msg.bundle, key_col_, place);
+            em.push(Msg::ofKpa(std::move(out), msg.min_ts));
+        });
+    }
+
+  private:
+    columnar::ColumnId key_col_;
+};
+
+} // namespace sbhbm::pipeline
+
+#endif // SBHBM_PIPELINE_EXTRACT_H

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Messages flowing between pipeline operators.
+ *
+ * Operators exchange either record bundles (full rows in DRAM) or
+ * KPAs (partial records, usually in HBM), plus out-of-band
+ * watermarks. A message optionally carries the temporal window its
+ * data belongs to (set once a Windowing operator has partitioned the
+ * stream).
+ */
+
+#ifndef SBHBM_PIPELINE_MESSAGE_H
+#define SBHBM_PIPELINE_MESSAGE_H
+
+#include <utility>
+
+#include "columnar/bundle.h"
+#include "columnar/window.h"
+#include "kpa/kpa.h"
+
+namespace sbhbm::pipeline {
+
+using columnar::BundleHandle;
+using columnar::WindowId;
+
+/** One unit of data exchanged between operators. */
+struct Msg
+{
+    /** Exactly one of bundle / kpa is set. */
+    BundleHandle bundle;
+    kpa::KpaPtr kpa;
+
+    /** Window this data belongs to (valid when has_window). */
+    WindowId window = 0;
+    bool has_window = false;
+
+    /** Earliest event timestamp in the payload (for impact tagging). */
+    EventTime min_ts = 0;
+
+    bool isBundle() const { return static_cast<bool>(bundle); }
+    bool isKpa() const { return kpa != nullptr; }
+
+    static Msg
+    ofBundle(BundleHandle b, EventTime min_ts)
+    {
+        Msg m;
+        m.bundle = std::move(b);
+        m.min_ts = min_ts;
+        return m;
+    }
+
+    static Msg
+    ofKpa(kpa::KpaPtr k, EventTime min_ts)
+    {
+        Msg m;
+        m.kpa = std::move(k);
+        m.min_ts = min_ts;
+        return m;
+    }
+
+    Msg
+    withWindow(WindowId w) &&
+    {
+        window = w;
+        has_window = true;
+        return std::move(*this);
+    }
+};
+
+} // namespace sbhbm::pipeline
+
+#endif // SBHBM_PIPELINE_MESSAGE_H

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Base class for statefull grouping operators (Fig 4a):
+ *
+ *  - as windowed KPAs arrive, swap in the grouping key, sort each
+ *    KPA, and save the sorted runs as the window's internal state;
+ *  - when the window closes (watermark), merge all saved runs with a
+ *    parallel binary merge tree — large merges are sliced at key
+ *    boundaries across tasks (paper §4.2) — then run the subclass's
+ *    reduction on the fully-sorted KPA.
+ *
+ * Close work runs Urgent: it is the critical path of pipeline output.
+ * Each merge round is chained off the previous round's *simulated*
+ * completion, so the tree's span shows up in output delay exactly as
+ * it would on the real machine.
+ */
+
+#ifndef SBHBM_PIPELINE_SORTED_RUNS_OP_H
+#define SBHBM_PIPELINE_SORTED_RUNS_OP_H
+
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "pipeline/operator.h"
+
+namespace sbhbm::pipeline {
+
+/** Sorted-run accumulation + merge-tree close. */
+class SortedRunsOp : public Operator
+{
+  public:
+    SortedRunsOp(Pipeline &pipe, std::string name,
+                 columnar::ColumnId key_col, int num_ports = 1)
+        : Operator(pipe, std::move(name), num_ports), key_col_(key_col)
+    {
+    }
+
+    /** Entries above which a pair merge is sliced across tasks. */
+    static constexpr uint32_t kSliceThreshold = 1u << 17;
+
+    /** Minimum entries per parallel reduce shard. */
+    static constexpr uint32_t kReduceShardMin = 1u << 15;
+
+  protected:
+    /**
+     * Subclass hook: consume key runs [lo, hi) of the window's
+     * fully-merged sorted KPA and emit results. The range boundaries
+     * fall on key-run boundaries; shards run as parallel Urgent tasks
+     * (paper Fig 4a: every step uses all available threads).
+     */
+    virtual void reduceWindow(columnar::WindowId w, const kpa::Kpa &merged,
+                              uint32_t lo, uint32_t hi, sim::CostLog &log,
+                              Emitter &em) = 0;
+
+    /**
+     * Parallel shards the reduction may be split into; subclasses
+     * whose reduction needs whole-window state return 1.
+     */
+    virtual uint32_t
+    reduceShards(const kpa::Kpa &merged) const
+    {
+        const uint32_t by_size =
+            std::max<uint32_t>(1, merged.size() / kReduceShardMin);
+        return std::min(eng_.exec().cores(), by_size);
+    }
+
+    void
+    process(Msg msg, int) override
+    {
+        sbhbm_assert(msg.isKpa() && msg.has_window,
+                     "%s expects windowed KPAs", name().c_str());
+        const columnar::WindowId w = msg.window;
+        const ImpactTag tag = classify(msg.min_ts);
+        spawnTracked(tag,
+                     [this, w, msg = std::move(msg)](sim::CostLog &log,
+                                                     Emitter &) mutable {
+                         // The watermark barrier guarantees no data
+                         // for an already-closed window can appear.
+                         sbhbm_assert(w >= min_open_,
+                                      "%s: late data for closed window"
+                                      " %llu",
+                                      name().c_str(),
+                                      (unsigned long long)w);
+                         auto ctx = makeCtx(log, msg.kpa->recordCols());
+                         kpa::keySwap(ctx, *msg.kpa, key_col_);
+                         kpa::sortKpa(ctx, *msg.kpa);
+                         state_[w].push_back(std::move(msg.kpa));
+                     });
+    }
+
+    void
+    onWatermark(Watermark wm) override
+    {
+        const columnar::WindowSpec spec = pipe_.windows();
+        std::vector<columnar::WindowId> ready;
+        for (const auto &[w, runs] : state_)
+            if (spec.end(w) <= wm.ts)
+                ready.push_back(w);
+        for (columnar::WindowId w : ready)
+            startClose(w);
+    }
+
+    bool
+    readyToForward(Watermark wm) const override
+    {
+        const columnar::WindowSpec spec = pipe_.windows();
+        for (const auto &[w, runs] : state_)
+            if (spec.end(w) <= wm.ts)
+                return false;
+        for (columnar::WindowId w : closing_)
+            if (spec.end(w) <= wm.ts)
+                return false;
+        return true;
+    }
+
+    /** Windows currently accumulating state. */
+    size_t openWindows() const { return state_.size(); }
+
+  private:
+    using Runs = std::vector<kpa::KpaPtr>;
+    using MergeDone = std::function<void(kpa::KpaPtr)>;
+
+    void
+    startClose(columnar::WindowId w)
+    {
+        auto it = state_.find(w);
+        sbhbm_assert(it != state_.end(), "closing unknown window");
+        auto runs = std::make_shared<Runs>(std::move(it->second));
+        state_.erase(it);
+        closing_.insert(w);
+        min_open_ = std::max(min_open_, w + 1);
+        mergeRound(w, runs);
+    }
+
+    /** One level of the binary merge tree. */
+    void
+    mergeRound(columnar::WindowId w, std::shared_ptr<Runs> runs)
+    {
+        if (runs->size() <= 1) {
+            kpa::KpaPtr merged =
+                runs->empty() ? nullptr : std::move(runs->front());
+            spawnReduce(w, std::move(merged));
+            return;
+        }
+
+        auto next = std::make_shared<Runs>();
+        const size_t pairs = runs->size() / 2;
+        next->resize(runs->size() - pairs);
+        auto remaining = std::make_shared<size_t>(pairs);
+
+        // Odd run passes through to the next round.
+        if (runs->size() % 2 == 1)
+            next->back() = std::move(runs->back());
+
+        for (size_t p = 0; p < pairs; ++p) {
+            auto a =
+                std::make_shared<kpa::KpaPtr>(std::move((*runs)[2 * p]));
+            auto b = std::make_shared<kpa::KpaPtr>(
+                std::move((*runs)[2 * p + 1]));
+            mergePair(std::move(a), std::move(b),
+                      [this, w, next, remaining, p](kpa::KpaPtr m) {
+                          (*next)[p] = std::move(m);
+                          if (--*remaining == 0)
+                              mergeRound(w, next);
+                      });
+        }
+    }
+
+    /**
+     * Merge two sorted KPAs; @p done fires at simulated completion.
+     * Big merges are sliced at key boundaries so every core
+     * participates (paper §4.2).
+     */
+    void
+    mergePair(std::shared_ptr<kpa::KpaPtr> a,
+              std::shared_ptr<kpa::KpaPtr> b, MergeDone done)
+    {
+        const uint32_t total = (*a)->size() + (*b)->size();
+        if (total <= kSliceThreshold) {
+            auto slot = std::make_shared<kpa::KpaPtr>();
+            spawnTracked(
+                ImpactTag::kUrgent,
+                [this, a, b, slot](sim::CostLog &log, Emitter &) {
+                    auto ctx = makeCtx(log, recordColsOf(**a));
+                    *slot = kpa::merge(
+                        ctx, **a, **b,
+                        eng_.placeKpa(ImpactTag::kUrgent,
+                                      uint64_t{(*a)->size() + (*b)->size()}
+                                          * sizeof(kpa::KpEntry)));
+                },
+                [slot, done = std::move(done)] {
+                    done(std::move(*slot));
+                });
+            return;
+        }
+
+        // Sliced merge: allocate the output once, then S tasks merge
+        // disjoint diagonal ranges; done fires when all S completed.
+        const uint32_t slices = std::min<uint32_t>(
+            eng_.exec().cores(),
+            (total + kSliceThreshold - 1) / kSliceThreshold);
+        kpa::Placement out_place = eng_.placeKpa(
+            ImpactTag::kUrgent, uint64_t{total} * sizeof(kpa::KpEntry));
+        if (!eng_.useKpa()) {
+            out_place.entry_scale =
+                static_cast<double>(recordColsOf(**a))
+                * sizeof(uint64_t) / sizeof(kpa::KpEntry);
+        }
+        auto out = std::make_shared<kpa::KpaPtr>(
+            kpa::Kpa::create(eng_.memory(), total, out_place));
+        (*out)->setResidentColumn((*a)->residentColumn());
+        (*out)->adoptSourcesFrom(**a);
+        (*out)->adoptSourcesFrom(**b);
+
+        auto body_left = std::make_shared<uint32_t>(slices);
+        auto completion_left = std::make_shared<uint32_t>(slices);
+        auto done_shared = std::make_shared<MergeDone>(std::move(done));
+        for (uint32_t s = 0; s < slices; ++s) {
+            spawnTracked(
+                ImpactTag::kUrgent,
+                [this, a, b, out, body_left, s, slices,
+                 total](sim::CostLog &log, Emitter &) {
+                    mergeSliceBody(**a, **b, **out, s, slices, total, log);
+                    if (--*body_left == 0) {
+                        (*out)->setSizeUnsafe(total);
+                        (*out)->setSorted(true);
+                    }
+                },
+                [out, completion_left, done_shared] {
+                    if (--*completion_left == 0)
+                        (*done_shared)(std::move(*out));
+                });
+        }
+    }
+
+    /** Functional work + cost charging of one merge slice. */
+    void
+    mergeSliceBody(const kpa::Kpa &ka, const kpa::Kpa &kb, kpa::Kpa &out,
+                   uint32_t s, uint32_t slices, uint32_t total,
+                   sim::CostLog &log)
+    {
+        const size_t d0 = uint64_t{total} * s / slices;
+        const size_t d1 = uint64_t{total} * (s + 1) / slices;
+        size_t a0, b0, a1, b1;
+        algo::mergePathSplit(ka.entries(), ka.size(), kb.entries(),
+                             kb.size(), d0, &a0, &b0);
+        algo::mergePathSplit(ka.entries(), ka.size(), kb.entries(),
+                             kb.size(), d1, &a1, &b1);
+        algo::mergeRuns(ka.entries() + a0, a1 - a0, kb.entries() + b0,
+                        b1 - b0, out.entries() + d0);
+
+        // This slice's share of the merge traffic.
+        auto ctx = makeCtx(log, recordColsOf(ka));
+        ctx.hm.charge(log, ka.tier(), sim::AccessPattern::kSequential,
+                      ctx.scaled((a1 - a0) * sizeof(kpa::KpEntry)));
+        ctx.hm.charge(log, kb.tier(), sim::AccessPattern::kSequential,
+                      ctx.scaled((b1 - b0) * sizeof(kpa::KpEntry)));
+        ctx.hm.charge(log, out.tier(), sim::AccessPattern::kSequential,
+                      ctx.scaled((d1 - d0) * sizeof(kpa::KpEntry)));
+        ctx.kernel(sim::cost::kMergeNsPerElem
+                   * static_cast<double>(d1 - d0));
+        log.cpu(sim::cost::kMergeSliceNsPerChunk);
+    }
+
+    /**
+     * Final stage: the subclass reduction as parallel shards split at
+     * key-run boundaries, then release the window.
+     */
+    void
+    spawnReduce(columnar::WindowId w, kpa::KpaPtr merged)
+    {
+        auto holder = std::make_shared<kpa::KpaPtr>(std::move(merged));
+        if (*holder == nullptr || (*holder)->empty()) {
+            spawnTracked(ImpactTag::kUrgent,
+                         [](sim::CostLog &, Emitter &) {},
+                         [this, w, holder] { releaseWindow(w, holder); });
+            return;
+        }
+
+        const auto cuts =
+            kpa::keyRunCuts(**holder, reduceShards(**holder));
+        auto left = std::make_shared<size_t>(cuts.size() - 1);
+        for (size_t s = 0; s + 1 < cuts.size(); ++s) {
+            const uint32_t lo = cuts[s];
+            const uint32_t hi = cuts[s + 1];
+            spawnTracked(
+                ImpactTag::kUrgent,
+                [this, w, holder, lo, hi](sim::CostLog &log,
+                                          Emitter &em) {
+                    reduceWindow(w, **holder, lo, hi, log, em);
+                },
+                [this, w, holder, left] {
+                    if (--*left == 0)
+                        releaseWindow(w, holder);
+                });
+        }
+    }
+
+    void
+    releaseWindow(columnar::WindowId w,
+                  const std::shared_ptr<kpa::KpaPtr> &holder)
+    {
+        holder->reset(); // drop KPA: bundles may reclaim
+        closing_.erase(w);
+        flushWatermarks();
+    }
+
+    /** recordCols() tolerant of source-less KPAs. */
+    static uint32_t
+    recordColsOf(const kpa::Kpa &k)
+    {
+        return k.sources().empty() ? 1 : k.recordCols();
+    }
+
+    columnar::ColumnId key_col_;
+    std::map<columnar::WindowId, Runs> state_;
+    std::set<columnar::WindowId> closing_;
+    columnar::WindowId min_open_ = 0;
+};
+
+} // namespace sbhbm::pipeline
+
+#endif // SBHBM_PIPELINE_SORTED_RUNS_OP_H

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Union (Table 1): merge two streams into one, preserving watermark
+ * correctness — the combined stream's watermark is the minimum of the
+ * inputs' (which the Operator base's per-port alignment provides).
+ *
+ * Union is a pure grouping operator: it moves no record bytes; only
+ * KPA handles (or bundle handles) flow through, so the charged cost is
+ * the per-message bookkeeping.
+ */
+
+#ifndef SBHBM_PIPELINE_UNION_H
+#define SBHBM_PIPELINE_UNION_H
+
+#include <string>
+#include <utility>
+
+#include "pipeline/operator.h"
+
+namespace sbhbm::pipeline {
+
+/** Two-input pass-through with aligned watermarks. */
+class UnionOp : public Operator
+{
+  public:
+    UnionOp(Pipeline &pipe, std::string name)
+        : Operator(pipe, std::move(name), /*num_ports=*/2)
+    {
+    }
+
+  protected:
+    void
+    process(Msg msg, int) override
+    {
+        const ImpactTag tag = classify(msg.min_ts);
+        spawnTracked(tag, [msg = std::move(msg)](sim::CostLog &log,
+                                                 Emitter &em) mutable {
+            log.cpu(sim::cost::kTaskDispatchNs / 4); // handle move only
+            em.push(std::move(msg));
+        });
+    }
+};
+
+} // namespace sbhbm::pipeline
+
+#endif // SBHBM_PIPELINE_UNION_H

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Windowing operator (Table 1): group records into temporal windows
+ * using Partition on KPA, with the timestamp column as partitioning
+ * key and the window length as the key range (paper §4.2).
+ */
+
+#ifndef SBHBM_PIPELINE_WINDOWING_H
+#define SBHBM_PIPELINE_WINDOWING_H
+
+#include <utility>
+
+#include "pipeline/operator.h"
+
+namespace sbhbm::pipeline {
+
+/** Partition KPAs into fixed windows by timestamp. */
+class WindowOp : public Operator
+{
+  public:
+    /**
+     * @param ts_col timestamp column (swapped in as resident key if
+     *               not already).
+     */
+    WindowOp(Pipeline &pipe, std::string name, columnar::ColumnId ts_col)
+        : Operator(pipe, std::move(name)), ts_col_(ts_col)
+    {
+    }
+
+  protected:
+    void
+    process(Msg msg, int) override
+    {
+        sbhbm_assert(msg.isKpa(), "WindowOp expects KPAs");
+        const ImpactTag tag = classify(msg.min_ts);
+        const columnar::WindowSpec spec = pipe_.windows();
+        spawnTracked(tag, [this, tag, spec, msg = std::move(msg)](
+                              sim::CostLog &log, Emitter &em) mutable {
+            auto ctx = makeCtx(log, msg.kpa->recordCols());
+            kpa::Kpa &k = *msg.kpa;
+            kpa::keySwap(ctx, k, ts_col_);
+
+            const auto place = eng_.placeKpa(
+                tag, uint64_t{k.size()} * sizeof(kpa::KpEntry));
+            auto parts = kpa::partitionByRange(ctx, k, spec.width, place);
+            for (auto &rp : parts) {
+                const columnar::WindowId w = rp.range;
+                em.push(Msg::ofKpa(std::move(rp.part), spec.start(w))
+                            .withWindow(w));
+            }
+        });
+    }
+
+  private:
+    columnar::ColumnId ts_col_;
+};
+
+} // namespace sbhbm::pipeline
+
+#endif // SBHBM_PIPELINE_WINDOWING_H

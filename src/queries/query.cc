@@ -1,0 +1,578 @@
+/**
+ * @file
+ * Query builders and the measurement harness (see query.h).
+ */
+
+#include "queries/query.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "baseline/hash_engine.h"
+#include "common/logging.h"
+#include "ingest/generator.h"
+#include "ingest/source.h"
+#include "pipeline/aggregations.h"
+#include "pipeline/egress.h"
+#include "pipeline/extract.h"
+#include "pipeline/external_join.h"
+#include "pipeline/pardo.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/power_grid.h"
+#include "pipeline/temporal_join.h"
+#include "pipeline/unkeyed.h"
+#include "pipeline/windowed_filter.h"
+#include "pipeline/windowing.h"
+
+namespace sbhbm::queries {
+
+const char *
+queryName(QueryId id)
+{
+    switch (id) {
+      case QueryId::kYsb: return "YSB";
+      case QueryId::kTopKPerKey: return "TopK Per Key";
+      case QueryId::kSumPerKey: return "Windowed Sum Per Key";
+      case QueryId::kMedianPerKey: return "Windowed Med Per Key";
+      case QueryId::kAvgPerKey: return "Windowed Avg Per Key";
+      case QueryId::kAvgAll: return "Windowed Average";
+      case QueryId::kUniqueCountPerKey: return "Unique Count Per Key";
+      case QueryId::kTemporalJoin: return "Temporal Join";
+      case QueryId::kWindowedFilter: return "Windowed Filter";
+      case QueryId::kPowerGrid: return "Power Grid";
+    }
+    return "?";
+}
+
+const std::vector<QueryId> &
+allQueries()
+{
+    static const std::vector<QueryId> all = {
+        QueryId::kYsb,          QueryId::kTopKPerKey,
+        QueryId::kSumPerKey,    QueryId::kMedianPerKey,
+        QueryId::kAvgPerKey,    QueryId::kAvgAll,
+        QueryId::kUniqueCountPerKey, QueryId::kTemporalJoin,
+        QueryId::kWindowedFilter, QueryId::kPowerGrid,
+    };
+    return all;
+}
+
+const char *
+engineKindName(EngineKind kind)
+{
+    switch (kind) {
+      case EngineKind::kStreamBoxHbm: return "StreamBox-HBM";
+      case EngineKind::kCaching: return "StreamBox-HBM Caching";
+      case EngineKind::kDramOnly: return "StreamBox-HBM DRAM";
+      case EngineKind::kCachingNoKpa: return "Caching NoKPA";
+      case EngineKind::kFlinkLike: return "Flink-like";
+    }
+    return "?";
+}
+
+namespace {
+
+using ingest::KvGen;
+using ingest::PowerGridGen;
+using ingest::YsbGen;
+using pipeline::EgressOp;
+using pipeline::Operator;
+using pipeline::Pipeline;
+
+/** The wired pipeline: source entry points plus the egress. */
+struct Built
+{
+    Operator *entry_a = nullptr;
+    int port_a = 0;
+    std::unique_ptr<ingest::Generator> gen_a;
+
+    Operator *entry_b = nullptr; //!< second stream, when the query has one
+    int port_b = 0;
+    std::unique_ptr<ingest::Generator> gen_b;
+
+    EgressOp *egress = nullptr;
+};
+
+/** Map an EngineKind to the engine configuration it denotes (Fig 9). */
+runtime::EngineConfig
+engineConfigFor(const QueryConfig &cfg)
+{
+    runtime::EngineConfig e;
+    e.machine = cfg.machine;
+    e.cores = cfg.cores;
+    e.target_delay = cfg.target_delay;
+    e.max_inflight_bundles = cfg.max_inflight_bundles;
+    e.seed = cfg.seed;
+    // The paper samples every 10 ms against 1-second windows; keep
+    // the same sampling-to-window ratio when benches scale windows
+    // down, so burst bandwidth (Figs 7b/8) is resolved identically.
+    e.monitor_period =
+        std::max<SimTime>(cfg.window_ns / 100, 100 * kNsPerUs);
+
+    switch (cfg.engine) {
+      case EngineKind::kStreamBoxHbm:
+        e.mode = sim::MemoryMode::kFlat;
+        e.use_kpa = true;
+        e.use_knob = true;
+        break;
+      case EngineKind::kCaching:
+        e.mode = sim::MemoryMode::kCache;
+        e.use_kpa = true;
+        e.use_knob = false; // placement is moot under hardware caching
+        break;
+      case EngineKind::kDramOnly:
+        e.mode = sim::MemoryMode::kDramOnly;
+        e.use_kpa = true;
+        e.use_knob = false;
+        break;
+      case EngineKind::kCachingNoKpa:
+        e.mode = sim::MemoryMode::kCache;
+        e.use_kpa = false;
+        e.use_knob = false;
+        break;
+      case EngineKind::kFlinkLike:
+        e.mode = sim::MemoryMode::kCache;
+        e.use_kpa = false;
+        e.use_knob = false;
+        break;
+    }
+    // A machine without HBM (X56) has nothing to cache into.
+    if (!cfg.machine.hasHbm() && e.mode == sim::MemoryMode::kCache)
+        e.mode = sim::MemoryMode::kDramOnly;
+    return e;
+}
+
+/** Keyed pipeline skeleton: extract -> window -> agg -> egress. */
+Built
+buildKeyedAgg(const QueryConfig &cfg, Pipeline &pipe,
+              pipeline::Aggregation agg)
+{
+    auto &extract = pipe.add<pipeline::ExtractOp>(pipe, "extract",
+                                                  KvGen::kKeyCol);
+    auto &window = pipe.add<pipeline::WindowOp>(pipe, "window",
+                                                KvGen::kTsCol);
+    auto &aggop = pipe.add<pipeline::KeyedAggOp>(
+        pipe, "agg", KvGen::kKeyCol, std::move(agg));
+    auto &egress = pipe.add<EgressOp>(pipe);
+    extract.connectTo(&window);
+    window.connectTo(&aggop);
+    aggop.connectTo(&egress);
+
+    Built b;
+    b.entry_a = &extract;
+    b.gen_a = std::make_unique<KvGen>(cfg.seed, cfg.key_range,
+                                      cfg.value_range);
+    b.egress = &egress;
+    return b;
+}
+
+/** YSB (Fig 5): filter -> external join -> window -> count -> egress. */
+Built
+buildYsb(const QueryConfig &cfg, Pipeline &pipe)
+{
+    auto table = YsbGen::campaignTable();
+    auto &filter = pipe.add<pipeline::FilterOp>(
+        pipe, "filter", YsbGen::kAdCol, [](const uint64_t *row) {
+            return row[YsbGen::kEventTypeCol] == YsbGen::kViewEvent;
+        });
+    auto &join = pipe.add<pipeline::ExternalJoinOp>(
+        pipe, "ext_join", table, YsbGen::kAdCol, YsbGen::kTsCol);
+    auto &window = pipe.add<pipeline::WindowOp>(pipe, "window",
+                                                YsbGen::kTsCol);
+    auto &count = pipe.add<pipeline::KeyedAggOp>(
+        pipe, "count_by_key", YsbGen::kAdCol, pipeline::aggs::countPerKey());
+    auto &egress = pipe.add<EgressOp>(pipe);
+    filter.connectTo(&join);
+    join.connectTo(&window);
+    window.connectTo(&count);
+    count.connectTo(&egress);
+
+    Built b;
+    b.entry_a = &filter;
+    b.gen_a = std::make_unique<YsbGen>(cfg.seed);
+    b.egress = &egress;
+    return b;
+}
+
+/** YSB on the record-at-a-time hash engine (the Flink comparison). */
+Built
+buildYsbFlinkLike(const QueryConfig &cfg, Pipeline &pipe)
+{
+    baseline::RecordAtATimeAggOp::Config rc;
+    rc.filter_col = YsbGen::kEventTypeCol;
+    rc.filter_value = YsbGen::kViewEvent;
+    rc.key_col = YsbGen::kAdCol;
+    rc.ts_col = YsbGen::kTsCol;
+    rc.key_map = YsbGen::campaignTable();
+    rc.pipeline_stages = 5; // the five boxes of Fig 1a
+    rc.keys_hint = YsbGen::kCampaigns;
+
+    auto &agg = pipe.add<baseline::RecordAtATimeAggOp>(pipe, "flink_ysb",
+                                                       rc);
+    auto &egress = pipe.add<EgressOp>(pipe);
+    agg.connectTo(&egress);
+
+    Built b;
+    b.entry_a = &agg;
+    b.gen_a = std::make_unique<YsbGen>(cfg.seed);
+    b.egress = &egress;
+    return b;
+}
+
+/** Keyed query on the record-at-a-time hash engine (count semantics). */
+Built
+buildKeyedFlinkLike(const QueryConfig &cfg, Pipeline &pipe)
+{
+    baseline::RecordAtATimeAggOp::Config rc;
+    rc.key_col = KvGen::kKeyCol;
+    rc.ts_col = KvGen::kTsCol;
+    rc.pipeline_stages = 3; // source -> window-agg -> sink
+    rc.keys_hint = cfg.key_range;
+
+    auto &agg = pipe.add<baseline::RecordAtATimeAggOp>(pipe, "flink_agg",
+                                                       rc);
+    auto &egress = pipe.add<EgressOp>(pipe);
+    agg.connectTo(&egress);
+
+    Built b;
+    b.entry_a = &agg;
+    b.gen_a = std::make_unique<KvGen>(cfg.seed, cfg.key_range,
+                                      cfg.value_range);
+    b.egress = &egress;
+    return b;
+}
+
+/** Temporal Join (benchmark 7): two streams joined by key per window. */
+Built
+buildTemporalJoin(const QueryConfig &cfg, Pipeline &pipe)
+{
+    auto &ex_l = pipe.add<pipeline::ExtractOp>(pipe, "extract_l",
+                                               KvGen::kKeyCol);
+    auto &ex_r = pipe.add<pipeline::ExtractOp>(pipe, "extract_r",
+                                               KvGen::kKeyCol);
+    auto &win_l = pipe.add<pipeline::WindowOp>(pipe, "win_l",
+                                               KvGen::kTsCol);
+    auto &win_r = pipe.add<pipeline::WindowOp>(pipe, "win_r",
+                                               KvGen::kTsCol);
+    auto &join = pipe.add<pipeline::TemporalJoinOp>(
+        pipe, "join", KvGen::kKeyCol, KvGen::kValueCol);
+    auto &egress = pipe.add<EgressOp>(pipe);
+    ex_l.connectTo(&win_l);
+    ex_r.connectTo(&win_r);
+    win_l.connectTo(&join, 0);
+    win_r.connectTo(&join, 1);
+    join.connectTo(&egress);
+
+    Built b;
+    b.entry_a = &ex_l;
+    b.gen_a = std::make_unique<KvGen>(cfg.seed, cfg.key_range,
+                                      cfg.value_range);
+    b.entry_b = &ex_r;
+    b.gen_b = std::make_unique<KvGen>(cfg.seed + 1, cfg.key_range,
+                                      cfg.value_range);
+    b.egress = &egress;
+    return b;
+}
+
+/**
+ * Windowed Filter (benchmark 8): stream A's window average filters
+ * stream B's records.
+ */
+Built
+buildWindowedFilter(const QueryConfig &cfg, Pipeline &pipe)
+{
+    auto &filter = pipe.add<pipeline::WindowedFilterOp>(
+        pipe, "win_filter", KvGen::kTsCol, KvGen::kValueCol);
+    auto &ex_b = pipe.add<pipeline::ExtractOp>(pipe, "extract_b",
+                                               KvGen::kKeyCol);
+    auto &win_b = pipe.add<pipeline::WindowOp>(pipe, "win_b",
+                                               KvGen::kTsCol);
+    auto &egress = pipe.add<EgressOp>(pipe);
+    ex_b.connectTo(&win_b);
+    win_b.connectTo(&filter, 1);
+    filter.connectTo(&egress);
+
+    Built b;
+    b.entry_a = &filter; // stream A: bundles straight into port 0
+    b.port_a = 0;
+    b.gen_a = std::make_unique<KvGen>(cfg.seed, cfg.key_range,
+                                      cfg.value_range, true);
+    b.entry_b = &ex_b;
+    b.gen_b = std::make_unique<KvGen>(cfg.seed + 1, cfg.key_range,
+                                      cfg.value_range, true);
+    b.egress = &egress;
+    return b;
+}
+
+/** Power Grid (benchmark 9): houses with most high-power plugs. */
+Built
+buildPowerGrid(const QueryConfig &cfg, Pipeline &pipe)
+{
+    auto &extract = pipe.add<pipeline::ExtractOp>(
+        pipe, "extract", pipeline::PowerGridOp::kPlugCol);
+    auto &window = pipe.add<pipeline::WindowOp>(
+        pipe, "window", pipeline::PowerGridOp::kTsCol);
+    auto &grid = pipe.add<pipeline::PowerGridOp>(pipe, "power_grid");
+    auto &egress = pipe.add<EgressOp>(pipe);
+    extract.connectTo(&window);
+    window.connectTo(&grid);
+    grid.connectTo(&egress);
+
+    Built b;
+    b.entry_a = &extract;
+    b.gen_a = std::make_unique<PowerGridGen>(cfg.seed);
+    b.egress = &egress;
+    return b;
+}
+
+/** Windowed Average (benchmark 5): unkeyed, bundles straight in. */
+Built
+buildAvgAll(const QueryConfig &cfg, Pipeline &pipe)
+{
+    auto &avg = pipe.add<pipeline::AvgAllOp>(pipe, "avg_all",
+                                             KvGen::kTsCol,
+                                             KvGen::kValueCol);
+    auto &egress = pipe.add<EgressOp>(pipe);
+    avg.connectTo(&egress);
+
+    Built b;
+    b.entry_a = &avg;
+    b.gen_a = std::make_unique<KvGen>(cfg.seed, cfg.key_range,
+                                      cfg.value_range);
+    b.egress = &egress;
+    return b;
+}
+
+Built
+buildQuery(const QueryConfig &cfg, Pipeline &pipe)
+{
+    if (cfg.engine == EngineKind::kFlinkLike) {
+        // The record-at-a-time engine implements the grouping-and-
+        // count family; richer reductions would change only the CPU
+        // constant, not the memory behaviour the comparison is about.
+        if (cfg.id == QueryId::kYsb)
+            return buildYsbFlinkLike(cfg, pipe);
+        return buildKeyedFlinkLike(cfg, pipe);
+    }
+
+    switch (cfg.id) {
+      case QueryId::kYsb:
+        return buildYsb(cfg, pipe);
+      case QueryId::kTopKPerKey:
+        return buildKeyedAgg(
+            cfg, pipe,
+            pipeline::aggs::topKPerKey(KvGen::kValueCol, cfg.topk_k));
+      case QueryId::kSumPerKey:
+        return buildKeyedAgg(cfg, pipe,
+                             pipeline::aggs::sumPerKey(KvGen::kValueCol));
+      case QueryId::kMedianPerKey:
+        return buildKeyedAgg(
+            cfg, pipe, pipeline::aggs::medianPerKey(KvGen::kValueCol));
+      case QueryId::kAvgPerKey:
+        return buildKeyedAgg(cfg, pipe,
+                             pipeline::aggs::avgPerKey(KvGen::kValueCol));
+      case QueryId::kAvgAll:
+        return buildAvgAll(cfg, pipe);
+      case QueryId::kUniqueCountPerKey:
+        return buildKeyedAgg(
+            cfg, pipe,
+            pipeline::aggs::uniqueCountPerKey(KvGen::kValueCol));
+      case QueryId::kTemporalJoin:
+        return buildTemporalJoin(cfg, pipe);
+      case QueryId::kWindowedFilter:
+        return buildWindowedFilter(cfg, pipe);
+      case QueryId::kPowerGrid:
+        return buildPowerGrid(cfg, pipe);
+    }
+    sbhbm_fatal("unknown query id %d", static_cast<int>(cfg.id));
+    return Built{}; // unreachable
+}
+
+} // namespace
+
+/** Cumulative records a source had delivered before time @p t. */
+static uint64_t
+recordsDeliveredBefore(const ingest::Source &src, SimTime t)
+{
+    const auto &marks = src.checkpoints();
+    uint64_t n = 0;
+    for (const auto &m : marks) {
+        if (m.t > t)
+            break;
+        n = m.records;
+    }
+    return n;
+}
+
+/** Input record width (bytes) of a query's stream. */
+static uint32_t
+recordBytes(QueryId id)
+{
+    switch (id) {
+      case QueryId::kYsb:
+        return 7 * sizeof(uint64_t);
+      case QueryId::kWindowedFilter:
+      case QueryId::kPowerGrid:
+        return 4 * sizeof(uint64_t);
+      default:
+        return 3 * sizeof(uint64_t);
+    }
+}
+
+QueryResult
+runQuery(const QueryConfig &cfg)
+{
+    runtime::EngineConfig ecfg = engineConfigFor(cfg);
+
+    // The in-flight budget (back-pressure bound) must cover a few
+    // windows' worth of bundles at NIC rate, or ingestion stalls
+    // waiting for a window that cannot close without its watermark.
+    const double nic = cfg.ethernet_ingest
+                           ? cfg.machine.nic_ethernet_bw * 0.8
+                           : cfg.machine.nic_rdma_bw;
+    const double win_records = simToSeconds(cfg.window_ns) * nic
+                               / recordBytes(cfg.id);
+    ecfg.max_inflight_bundles = std::max(
+        cfg.max_inflight_bundles,
+        static_cast<uint32_t>(3.0 * win_records / cfg.bundle_records)
+            + cfg.cores + 8);
+
+    runtime::Engine eng(ecfg);
+    pipeline::Pipeline pipe(eng, columnar::WindowSpec{cfg.window_ns});
+    Built built = buildQuery(cfg, pipe);
+
+    ingest::SourceConfig scfg;
+    // nic_*_bw are already payload bytes/sec; ZeroMQ over Ethernet
+    // loses ~20% to TCP/framing overhead that RDMA's pre-allocated
+    // bundles do not pay. Two-stream queries share the one NIC.
+    scfg.nic_bw = cfg.ethernet_ingest
+                      ? cfg.machine.nic_ethernet_bw * 0.8
+                      : cfg.machine.nic_rdma_bw;
+    if (built.entry_b != nullptr)
+        scfg.nic_bw /= 2;
+    scfg.copy_at_ingest = cfg.ethernet_ingest;
+    scfg.bundle_records = cfg.bundle_records;
+    scfg.total_records = cfg.total_records;
+    scfg.offered_rate = cfg.offered_rate;
+    scfg.bundles_per_watermark = cfg.bundles_per_watermark;
+
+    ingest::Source src_a(eng, pipe, *built.gen_a, built.entry_a, scfg,
+                         built.port_a);
+    std::unique_ptr<ingest::Source> src_b;
+    if (built.entry_b != nullptr) {
+        src_b = std::make_unique<ingest::Source>(
+            eng, pipe, *built.gen_b, built.entry_b, scfg, built.port_b);
+    }
+
+    eng.monitor().start();
+    src_a.start();
+    if (src_b)
+        src_b->start();
+    eng.machine().run();
+
+    sbhbm_assert(src_a.finished(), "source A did not drain");
+    sbhbm_assert(!src_b || src_b->finished(), "source B did not drain");
+
+    QueryResult r;
+    r.records_ingested = src_a.recordsIngested()
+                         + (src_b ? src_b->recordsIngested() : 0);
+    SimTime ingest_done = src_a.finishedAt();
+    if (src_b)
+        ingest_done = std::max(ingest_done, src_b->finishedAt());
+    r.sim_seconds = simToSeconds(ingest_done);
+
+    // Sustained rate: input records attributed to the middle
+    // externalized windows divided by the span of their
+    // externalization times. Robust in both regimes: NIC-bound runs
+    // externalize on the window cadence (rate = ingest rate), and
+    // capacity-bound runs externalize at the service rate — bursty
+    // admission under back-pressure averages out across windows.
+    double rate = 0;
+    const columnar::WindowSpec spec{cfg.window_ns};
+    auto records_before = [&](SimTime t) {
+        uint64_t n = recordsDeliveredBefore(src_a, t);
+        if (src_b)
+            n += recordsDeliveredBefore(*src_b, t);
+        return n;
+    };
+    // Only externalizations while ingestion was still running count:
+    // once the stream ends, the backlog drains and intervals compress,
+    // which would inflate the rate. Within those, take the median of
+    // the per-interval rates over the later half of the run — robust
+    // against the initial burst (in-flight budget filling at NIC
+    // speed) and against batched same-time externalizations.
+    std::vector<pipeline::Pipeline::Externalization> exts;
+    for (const auto &e : pipe.externalizations())
+        if (e.at <= ingest_done)
+            exts.push_back(e);
+    std::vector<double> interval_rates;
+    for (size_t i = exts.size() / 2; i + 1 < exts.size(); ++i) {
+        const auto &a = exts[i];
+        const auto &b = exts[i + 1];
+        if (b.at <= a.at)
+            continue;
+        const double dt = simToSeconds(b.at - a.at);
+        const auto dn = static_cast<double>(
+            records_before(spec.end(b.window))
+            - records_before(spec.end(a.window)));
+        if (dn > 0)
+            interval_rates.push_back(dn / dt);
+    }
+    if (interval_rates.size() >= 3) {
+        std::nth_element(interval_rates.begin(),
+                         interval_rates.begin()
+                             + interval_rates.size() / 2,
+                         interval_rates.end());
+        rate = interval_rates[interval_rates.size() / 2];
+    }
+    if (rate <= 0) {
+        // Short run: fall back to the whole-run average.
+        rate = r.sim_seconds > 0 ? static_cast<double>(r.records_ingested)
+                                       / r.sim_seconds
+                                 : 0.0;
+    }
+    r.throughput_mrps = rate / 1e6;
+    r.throughput_gbps =
+        rate * built.gen_a->cols() * sizeof(uint64_t) / 1e9;
+
+    const auto &mon = eng.monitor();
+    r.peak_hbm_bw_gbps = mon.hbmBwStat().max() / 1e9;
+    r.avg_hbm_bw_gbps = mon.hbmBwStat().mean() / 1e9;
+    r.peak_dram_bw_gbps = mon.dramBwStat().max() / 1e9;
+    r.avg_dram_bw_gbps = mon.dramBwStat().mean() / 1e9;
+    r.peak_hbm_used_gb = mon.hbmUsedStat().max() / 1e9;
+    r.avg_hbm_used_gb = mon.hbmUsedStat().mean() / 1e9;
+    r.samples = mon.samples();
+
+    const auto &delays = eng.outputDelays();
+    r.mean_delay_s = delays.mean();
+    r.max_delay_s = delays.max();
+    r.met_target_delay =
+        delays.size() == 0
+        || r.max_delay_s <= simToSeconds(cfg.target_delay);
+
+    r.output_records = built.egress->outputRecords();
+    r.windows_externalized = pipe.windowsExternalized();
+    const double total_sec = simToSeconds(eng.machine().now());
+    r.total_mrps = total_sec > 0
+                       ? static_cast<double>(r.records_ingested)
+                             / total_sec / 1e6
+                       : 0.0;
+    return r;
+}
+
+std::string
+formatResult(const QueryConfig &cfg, const QueryResult &r)
+{
+    std::ostringstream os;
+    os << queryName(cfg.id) << " [" << engineKindName(cfg.engine) << ", "
+       << cfg.cores << " cores]: " << r.throughput_mrps << " M rec/s, "
+       << "peak HBM " << r.peak_hbm_bw_gbps << " GB/s, peak DRAM "
+       << r.peak_dram_bw_gbps << " GB/s, max delay " << r.max_delay_s
+       << " s";
+    return os.str();
+}
+
+} // namespace sbhbm::queries

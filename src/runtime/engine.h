@@ -1,0 +1,193 @@
+/**
+ * @file
+ * The StreamBox-HBM engine runtime: one object owning the simulated
+ * machine, hybrid memory, executor, balance knob and monitor.
+ *
+ * This is the composition root a pipeline runs against. The ablation
+ * variants of Fig 9 are configurations of this one engine:
+ *
+ *   StreamBox-HBM          : kFlat  + use_kpa + knob
+ *   StreamBox-HBM Caching  : kCache + use_kpa (placement moot)
+ *   StreamBox-HBM DRAM     : kDramOnly + use_kpa
+ *   Caching NoKPA          : kCache + !use_kpa (grouping moves full
+ *                            records; cost charged accordingly)
+ */
+
+#ifndef SBHBM_RUNTIME_ENGINE_H
+#define SBHBM_RUNTIME_ENGINE_H
+
+#include <algorithm>
+#include <memory>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/units.h"
+#include "kpa/kpa.h"
+#include "mem/hybrid_memory.h"
+#include "runtime/balance_knob.h"
+#include "runtime/executor.h"
+#include "runtime/impact_tag.h"
+#include "runtime/resource_monitor.h"
+#include "sim/machine.h"
+
+namespace sbhbm::runtime {
+
+/** Engine-level configuration. */
+struct EngineConfig
+{
+    sim::MachineConfig machine = sim::MachineConfig::knl();
+    sim::MemoryMode mode = sim::MemoryMode::kFlat;
+
+    /** Core slots the executor uses (the x-axis of most figures). */
+    unsigned cores = 64;
+
+    /**
+     * When false, grouping operates on full records instead of
+     * extracted KPAs (the "NoKPA" ablation): operators skip Extract
+     * and charge full-record traffic for every grouping pass.
+     */
+    bool use_kpa = true;
+
+    /** Enable the dynamic {k_low, k_high} placement knob. */
+    bool use_knob = true;
+
+    /** Target output delay (paper: 1 second). */
+    SimTime target_delay = kNsPerSec;
+
+    /** Resource sampling period (paper: 10 ms). */
+    SimTime monitor_period = 10 * kNsPerMs;
+
+    uint64_t seed = 1;
+
+    /**
+     * Ingestion credit: maximum bundles in flight (ingested but not
+     * fully processed) before the source stops pulling. This is the
+     * back-pressure mechanism of paper §5.
+     */
+    uint32_t max_inflight_bundles = 512;
+};
+
+/** The engine runtime. */
+class Engine
+{
+  public:
+    explicit Engine(EngineConfig cfg)
+        : cfg_(cfg), machine_(cfg.machine), hm_(machine_.config(), cfg.mode),
+          exec_(machine_, cfg.cores), rng_(cfg.seed),
+          monitor_(machine_, hm_, knob_, [this] { return delayHeadroomOk(); },
+                   cfg.monitor_period)
+    {
+    }
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    const EngineConfig &config() const { return cfg_; }
+    sim::Machine &machine() { return machine_; }
+    mem::HybridMemory &memory() { return hm_; }
+    Executor &exec() { return exec_; }
+    BalanceKnob &knob() { return knob_; }
+    ResourceMonitor &monitor() { return monitor_; }
+    Rng &rng() { return rng_; }
+    bool useKpa() const { return cfg_.use_kpa; }
+
+    /**
+     * Decide the placement of a new KPA for a task tagged @p tag —
+     * the paper's "single control knob" (§1). Urgent tasks always
+     * get HBM (reserved pool); others flip the knob's weighted coin,
+     * falling back to DRAM when HBM has no non-reserved room.
+     */
+    kpa::Placement
+    placeKpa(ImpactTag tag, uint64_t bytes_hint)
+    {
+        if (cfg_.mode != sim::MemoryMode::kFlat)
+            return kpa::Placement{mem::Tier::kDram, false};
+        if (tag == ImpactTag::kUrgent)
+            return kpa::Placement{mem::Tier::kHbm, true};
+
+        const bool want_hbm =
+            cfg_.use_knob ? knob_.preferHbm(tag, rng_) : true;
+        if (want_hbm && hm_.hbmHasRoom(bytes_hint))
+            return kpa::Placement{mem::Tier::kHbm, false};
+        return kpa::Placement{mem::Tier::kDram, false};
+    }
+
+    /** Record one per-window output delay (drives knob headroom). */
+    void
+    reportOutputDelay(SimTime delay)
+    {
+        delays_.add(simToSeconds(delay));
+        last_delay_ = delay;
+    }
+
+    /** @return true when the latest delay is >= 10% below target. */
+    bool
+    delayHeadroomOk() const
+    {
+        return static_cast<double>(last_delay_)
+               <= 0.9 * static_cast<double>(cfg_.target_delay);
+    }
+
+    const SampleSet &outputDelays() const { return delays_; }
+
+    // ---------------------------------------------------------------
+    // Back-pressure (paper §5: the engine starts/stops pulling from
+    // the data source according to resource utilization).
+    // ---------------------------------------------------------------
+
+    /** A bundle entered the pipeline. */
+    void noteBundleIn() { ++inflight_bundles_; }
+
+    /** A bundle's window was externalized / the bundle was freed. */
+    void
+    noteBundleOut()
+    {
+        sbhbm_assert(inflight_bundles_ > 0, "bundle accounting underflow");
+        --inflight_bundles_;
+        ++bundles_released_;
+    }
+
+    uint32_t inflightBundles() const { return inflight_bundles_; }
+
+    /** Total bundles ever fully processed and freed. */
+    uint64_t bundlesReleased() const { return bundles_released_; }
+
+    /** Should the source pause pulling? */
+    bool
+    backpressured() const
+    {
+        return inflight_bundles_ >= cfg_.max_inflight_bundles;
+    }
+
+    /**
+     * Soft back-pressure: enough backlog (about a window's worth)
+     * that ingestion should pace itself to the service rate rather
+     * than keep bursting at NIC speed.
+     */
+    bool
+    softBackpressured() const
+    {
+        const uint32_t soft =
+            std::min(cfg_.max_inflight_bundles,
+                     std::max(cfg_.cores + 8,
+                              cfg_.max_inflight_bundles / 3));
+        return inflight_bundles_ >= soft;
+    }
+
+  private:
+    EngineConfig cfg_;
+    sim::Machine machine_;
+    mem::HybridMemory hm_;
+    Executor exec_;
+    BalanceKnob knob_;
+    Rng rng_;
+    ResourceMonitor monitor_;
+    SampleSet delays_;
+    SimTime last_delay_ = 0;
+    uint32_t inflight_bundles_ = 0;
+    uint64_t bundles_released_ = 0;
+};
+
+} // namespace sbhbm::runtime
+
+#endif // SBHBM_RUNTIME_ENGINE_H

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Task executor: maps tagged tasks onto the simulated machine's cores.
+ *
+ * Worker threads of the real StreamBox-HBM become "core slots" here:
+ * at most `cores` tasks are in flight at once; queued tasks dispatch
+ * in impact-tag priority order (Urgent > High > Low, FIFO within a
+ * tag). A task's closure runs functionally at dispatch time and
+ * records its simulated cost; the machine then charges that cost in
+ * virtual time and frees the core slot when it completes.
+ */
+
+#ifndef SBHBM_RUNTIME_EXECUTOR_H
+#define SBHBM_RUNTIME_EXECUTOR_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/unique_function.h"
+#include "runtime/impact_tag.h"
+#include "sim/cost_model.h"
+#include "sim/machine.h"
+
+namespace sbhbm::runtime {
+
+/** Priority task executor bound to a simulated machine. */
+class Executor
+{
+  public:
+    /** A task: do work on host, describe its cost in @p log. */
+    using TaskFn = UniqueFunction<void(sim::CostLog &log)>;
+    using DoneFn = UniqueFunction<void()>;
+
+    /**
+     * @param machine timing model.
+     * @param cores   core slots to use (<= machine.cores(); the
+     *                evaluation sweeps this, Figs 2/7/8/9).
+     */
+    Executor(sim::Machine &machine, unsigned cores)
+        : machine_(machine), cores_(cores)
+    {
+        sbhbm_assert(cores >= 1 && cores <= machine.cores(),
+                     "core count %u outside 1..%u", cores,
+                     machine.cores());
+    }
+
+    Executor(const Executor &) = delete;
+    Executor &operator=(const Executor &) = delete;
+
+    /** Enqueue a task; @p done (optional) fires on completion. */
+    void
+    spawn(ImpactTag tag, TaskFn fn, DoneFn done = nullptr)
+    {
+        queues_[static_cast<int>(tag)].push_back(
+            Pending{std::move(fn), std::move(done)});
+        ++spawned_;
+        pump();
+    }
+
+    /**
+     * Spawn @p n data-parallel tasks; @p all_done fires once every
+     * one of them completed. fn(i, log) handles shard i.
+     */
+    void
+    parallelFor(ImpactTag tag, uint32_t n,
+                std::function<void(uint32_t, sim::CostLog &)> fn,
+                DoneFn all_done)
+    {
+        auto done = std::make_shared<DoneFn>(std::move(all_done));
+        if (n == 0) {
+            // Still asynchronous: defer to the event loop.
+            machine_.after(0, [done] {
+                if (*done)
+                    (*done)();
+            });
+            return;
+        }
+        auto remaining = std::make_shared<uint32_t>(n);
+        for (uint32_t i = 0; i < n; ++i) {
+            spawn(
+                tag, [fn, i](sim::CostLog &log) { fn(i, log); },
+                [remaining, done] {
+                    if (--*remaining == 0 && *done)
+                        (*done)();
+                });
+        }
+    }
+
+    unsigned cores() const { return cores_; }
+    unsigned busyCores() const { return busy_; }
+
+    uint64_t
+    queuedTasks() const
+    {
+        return queues_[0].size() + queues_[1].size() + queues_[2].size();
+    }
+
+    uint64_t spawnedTasks() const { return spawned_; }
+    uint64_t completedTasks() const { return completed_; }
+
+    /** True when no task is queued or in flight. */
+    bool idle() const { return busy_ == 0 && queuedTasks() == 0; }
+
+  private:
+    struct Pending
+    {
+        TaskFn fn;
+        DoneFn done;
+    };
+
+    /** Dispatch queued tasks onto free core slots. */
+    void
+    pump()
+    {
+        while (busy_ < cores_) {
+            Pending task;
+            if (!popNext(task))
+                return;
+            ++busy_;
+
+            sim::CostLog cost;
+            cost.cpu(sim::cost::kTaskDispatchNs);
+            // Functional execution happens now, but the closure (and
+            // everything it holds alive — bundles, KPAs) is released
+            // only at simulated completion: a real worker's working
+            // set is pinned while the task runs, and back-pressure
+            // must see it.
+            auto keep = std::make_shared<TaskFn>(std::move(task.fn));
+            (*keep)(cost);
+
+            // Machine callbacks are std::function (copyable), so the
+            // move-only hooks ride in shared_ptrs.
+            auto done = std::make_shared<DoneFn>(std::move(task.done));
+            machine_.execute(std::move(cost), [this, done, keep] {
+                keep->reset();
+                --busy_;
+                ++completed_;
+                if (*done)
+                    (*done)();
+                pump();
+            });
+        }
+    }
+
+    bool
+    popNext(Pending &out)
+    {
+        for (auto &q : queues_) {
+            if (!q.empty()) {
+                out = std::move(q.front());
+                q.pop_front();
+                return true;
+            }
+        }
+        return false;
+    }
+
+    sim::Machine &machine_;
+    unsigned cores_;
+    unsigned busy_ = 0;
+    std::deque<Pending> queues_[kNumTags];
+    uint64_t spawned_ = 0;
+    uint64_t completed_ = 0;
+};
+
+} // namespace sbhbm::runtime
+
+#endif // SBHBM_RUNTIME_EXECUTOR_H

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Discrete-event queue driving the virtual clock.
+ *
+ * Events at equal timestamps fire in insertion order (a monotone
+ * sequence number breaks ties) so the whole simulation is
+ * deterministic.
+ */
+
+#ifndef SBHBM_SIM_EVENT_QUEUE_H
+#define SBHBM_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace sbhbm::sim {
+
+/** Min-heap of (time, seq, callback) triples. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /**
+     * Schedule @p cb at absolute virtual time @p when.
+     *
+     * @param daemon daemon events (periodic monitors, samplers) do
+     *        not keep the simulation alive: run() stops once only
+     *        daemon events remain, the way a real process exits
+     *        regardless of its background threads.
+     */
+    void
+    schedule(SimTime when, Callback cb, bool daemon = false)
+    {
+        sbhbm_assert(when >= now_, "scheduling into the past: %llu < %llu",
+                     (unsigned long long)when, (unsigned long long)now_);
+        heap_.push(Entry{when, next_seq_++, daemon, std::move(cb)});
+        if (!daemon)
+            ++live_;
+    }
+
+    /** @return true when no non-daemon work remains. */
+    bool empty() const { return live_ == 0; }
+    size_t size() const { return heap_.size(); }
+
+    /** Current virtual time. */
+    SimTime now() const { return now_; }
+
+    /** Time of the earliest pending event, or kSimTimeNever. */
+    SimTime
+    nextTime() const
+    {
+        return heap_.empty() ? kSimTimeNever : heap_.top().when;
+    }
+
+    /**
+     * Pop and run the earliest event, advancing the clock.
+     * @return false when the queue was empty.
+     */
+    bool
+    step()
+    {
+        if (heap_.empty())
+            return false;
+        // Moving out of a priority_queue top requires const_cast; the
+        // entry is popped immediately after so this is safe.
+        Entry entry = std::move(const_cast<Entry &>(heap_.top()));
+        heap_.pop();
+        now_ = entry.when;
+        if (!entry.daemon)
+            --live_;
+        entry.cb();
+        return true;
+    }
+
+    /**
+     * Run events until the queue drains or the clock passes @p limit.
+     * Daemon events DO run here (the horizon bounds the loop), so a
+     * monitor can be driven without other work pending.
+     */
+    void
+    runUntil(SimTime limit)
+    {
+        while (!heap_.empty() && heap_.top().when <= limit) {
+            if (!step())
+                break;
+        }
+        if (now_ < limit)
+            now_ = limit;
+    }
+
+    /** Run until only daemon events (if any) remain. */
+    void
+    run()
+    {
+        while (live_ > 0 && step()) {}
+    }
+
+  private:
+    struct Entry
+    {
+        SimTime when;
+        uint64_t seq;
+        bool daemon;
+        Callback cb;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    SimTime now_ = 0;
+    uint64_t next_seq_ = 0;
+    uint64_t live_ = 0;
+};
+
+} // namespace sbhbm::sim
+
+#endif // SBHBM_SIM_EVENT_QUEUE_H

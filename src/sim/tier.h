@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Memory tier and access-pattern enums shared by the machine model and
+ * the memory subsystem.
+ */
+
+#ifndef SBHBM_SIM_TIER_H
+#define SBHBM_SIM_TIER_H
+
+#include <cstdint>
+
+namespace sbhbm::sim {
+
+/**
+ * Physical memory tier of the simulated machine. The paper's KNL box
+ * couples commodity DDR4 (high capacity, limited bandwidth) with
+ * 3D-stacked HBM (limited capacity, high bandwidth, slightly higher
+ * latency) in flat mode.
+ */
+enum class Tier : uint8_t {
+    kDram = 0,
+    kHbm = 1,
+};
+
+constexpr int kNumTiers = 2;
+
+/** Index usable for per-tier arrays. */
+constexpr int
+tierIndex(Tier t)
+{
+    return static_cast<int>(t);
+}
+
+constexpr const char *
+tierName(Tier t)
+{
+    return t == Tier::kHbm ? "HBM" : "DRAM";
+}
+
+/**
+ * Memory access pattern of one task phase. Sequential access streams
+ * cache lines and can exploit a tier's full bandwidth; random access is
+ * bound by latency times the core's memory-level parallelism.
+ */
+enum class AccessPattern : uint8_t {
+    kSequential = 0,
+    kRandom = 1,
+};
+
+} // namespace sbhbm::sim
+
+#endif // SBHBM_SIM_TIER_H

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Cost logging: how executed work describes itself to the timing model.
+ *
+ * Code in the engine runs *functionally* on the host (sorts really
+ * sort), and records what the same work would have cost on the
+ * simulated machine: CPU nanoseconds plus memory traffic per tier and
+ * access pattern. The Machine turns a CostLog into virtual time.
+ */
+
+#ifndef SBHBM_SIM_TRAFFIC_H
+#define SBHBM_SIM_TRAFFIC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "sim/tier.h"
+
+namespace sbhbm::sim {
+
+/** One memory stream within a phase. */
+struct Flow
+{
+    Tier tier = Tier::kDram;
+    AccessPattern pattern = AccessPattern::kSequential;
+    uint64_t bytes = 0;
+};
+
+/**
+ * One serially-executed step of a task: some CPU work overlapped with
+ * up to a few memory streams. The phase finishes when the CPU work is
+ * done *and* all its flows have drained (roofline-style overlap).
+ */
+struct Phase
+{
+    /** Scalar (branchy) CPU work, scaled by MachineConfig::scalar_speed. */
+    double cpu_ns = 0;
+
+    /** Vectorized kernel work, scaled by MachineConfig::vector_speed. */
+    double cpu_vector_ns = 0;
+
+    std::vector<Flow> flows;
+
+    uint64_t
+    totalBytes() const
+    {
+        uint64_t sum = 0;
+        for (const auto &f : flows)
+            sum += f.bytes;
+        return sum;
+    }
+};
+
+/**
+ * Ordered list of phases a task charges to the simulated machine.
+ * Helper methods append to the *current* (last) phase; nextPhase()
+ * introduces a serial dependency.
+ */
+class CostLog
+{
+  public:
+    CostLog() { phases_.emplace_back(); }
+
+    /** Start a new phase that begins only after the previous one. */
+    void nextPhase() { phases_.emplace_back(); }
+
+    /** Charge scalar CPU work to the current phase. */
+    void
+    cpu(double ns)
+    {
+        sbhbm_assert(ns >= 0, "negative cpu cost");
+        phases_.back().cpu_ns += ns;
+    }
+
+    /** Charge vectorized-kernel CPU work to the current phase. */
+    void
+    cpuVector(double ns)
+    {
+        sbhbm_assert(ns >= 0, "negative cpu cost");
+        phases_.back().cpu_vector_ns += ns;
+    }
+
+    /** Charge a memory stream to the current phase. */
+    void
+    mem(Tier tier, AccessPattern pattern, uint64_t bytes)
+    {
+        if (bytes == 0)
+            return;
+        // Coalesce with an existing flow of the same kind.
+        for (auto &f : phases_.back().flows) {
+            if (f.tier == tier && f.pattern == pattern) {
+                f.bytes += bytes;
+                return;
+            }
+        }
+        phases_.back().flows.push_back(Flow{tier, pattern, bytes});
+    }
+
+    void
+    seq(Tier tier, uint64_t bytes)
+    {
+        mem(tier, AccessPattern::kSequential, bytes);
+    }
+
+    void
+    rand(Tier tier, uint64_t bytes)
+    {
+        mem(tier, AccessPattern::kRandom, bytes);
+    }
+
+    /** Append all phases of @p other after the current phase. */
+    void
+    append(const CostLog &other)
+    {
+        for (const auto &p : other.phases_) {
+            if (p.cpu_ns == 0 && p.cpu_vector_ns == 0 && p.flows.empty())
+                continue;
+            nextPhase();
+            phases_.back() = p;
+        }
+    }
+
+    const std::vector<Phase> &phases() const { return phases_; }
+
+    double
+    totalCpuNs() const
+    {
+        double sum = 0;
+        for (const auto &p : phases_)
+            sum += p.cpu_ns + p.cpu_vector_ns;
+        return sum;
+    }
+
+    uint64_t
+    totalBytes() const
+    {
+        uint64_t sum = 0;
+        for (const auto &p : phases_)
+            sum += p.totalBytes();
+        return sum;
+    }
+
+    uint64_t
+    bytesOn(Tier tier) const
+    {
+        uint64_t sum = 0;
+        for (const auto &p : phases_)
+            for (const auto &f : p.flows)
+                if (f.tier == tier)
+                    sum += f.bytes;
+        return sum;
+    }
+
+    bool
+    empty() const
+    {
+        for (const auto &p : phases_)
+            if (p.cpu_ns > 0 || p.cpu_vector_ns > 0 || !p.flows.empty())
+                return false;
+        return true;
+    }
+
+  private:
+    std::vector<Phase> phases_;
+};
+
+} // namespace sbhbm::sim
+
+#endif // SBHBM_SIM_TRAFFIC_H

@@ -1,0 +1,111 @@
+#include "columnar/bundle.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "sim/machine_config.h"
+
+namespace sbhbm::columnar {
+namespace {
+
+class BundleTest : public ::testing::Test
+{
+  protected:
+    sim::MachineConfig cfg_ = sim::MachineConfig::knl();
+    mem::HybridMemory hm_{cfg_, sim::MemoryMode::kFlat};
+};
+
+TEST_F(BundleTest, CreateAppendRead)
+{
+    BundleHandle b = BundleHandle::adopt(Bundle::create(hm_, 3, 100));
+    EXPECT_EQ(b->cols(), 3u);
+    EXPECT_EQ(b->capacity(), 100u);
+    EXPECT_EQ(b->size(), 0u);
+
+    b->append({7, 8, 9});
+    b->append({10, 11, 12});
+    EXPECT_EQ(b->size(), 2u);
+    EXPECT_EQ(b->row(0)[0], 7u);
+    EXPECT_EQ(b->row(1)[2], 12u);
+    EXPECT_EQ(b->dataBytes(), 2u * 3 * 8);
+}
+
+TEST_F(BundleTest, RecordsLiveInDram)
+{
+    BundleHandle b = BundleHandle::adopt(Bundle::create(hm_, 2, 10));
+    EXPECT_EQ(b->tier(), mem::Tier::kDram);
+    EXPECT_GT(hm_.gauge(mem::Tier::kDram).used(), 0u);
+    EXPECT_EQ(hm_.gauge(mem::Tier::kHbm).used(), 0u);
+}
+
+TEST_F(BundleTest, ReferenceCountingReclaimsMemory)
+{
+    Bundle *raw = Bundle::create(hm_, 2, 1000);
+    const uint64_t used = hm_.gauge(mem::Tier::kDram).used();
+    EXPECT_GT(used, 0u);
+
+    raw->retain(); // rc = 2
+    EXPECT_FALSE(raw->release());
+    EXPECT_EQ(hm_.gauge(mem::Tier::kDram).used(), used);
+    EXPECT_TRUE(raw->release()); // rc = 0: destroyed
+    EXPECT_EQ(hm_.gauge(mem::Tier::kDram).used(), 0u);
+}
+
+TEST_F(BundleTest, HandleCopyAndMoveManageOneRefEach)
+{
+    Bundle *raw = Bundle::create(hm_, 2, 10);
+    {
+        BundleHandle a = BundleHandle::adopt(raw);
+        EXPECT_EQ(raw->refcount(), 1u);
+        BundleHandle b = a; // copy: +1
+        EXPECT_EQ(raw->refcount(), 2u);
+        BundleHandle c = std::move(b); // move: same count
+        EXPECT_EQ(raw->refcount(), 2u);
+        EXPECT_FALSE(b); // NOLINT(bugprone-use-after-move)
+        c.reset();
+        EXPECT_EQ(raw->refcount(), 1u);
+    }
+    // Handle a destroyed: bundle reclaimed.
+    EXPECT_EQ(hm_.gauge(mem::Tier::kDram).used(), 0u);
+}
+
+TEST_F(BundleTest, ShareTakesAnExtraReference)
+{
+    BundleHandle a = BundleHandle::adopt(Bundle::create(hm_, 1, 10));
+    BundleHandle b = BundleHandle::share(a.get());
+    EXPECT_EQ(a->refcount(), 2u);
+}
+
+TEST_F(BundleTest, IdsAreUnique)
+{
+    BundleHandle a = BundleHandle::adopt(Bundle::create(hm_, 1, 10));
+    BundleHandle b = BundleHandle::adopt(Bundle::create(hm_, 1, 10));
+    EXPECT_NE(a->id(), b->id());
+}
+
+TEST_F(BundleTest, AppendRawLeavesDataUninitializedButCounted)
+{
+    BundleHandle b = BundleHandle::adopt(Bundle::create(hm_, 2, 10));
+    uint64_t *row = b->appendRaw();
+    row[0] = 42;
+    row[1] = 43;
+    EXPECT_EQ(b->size(), 1u);
+    EXPECT_EQ(b->row(0)[1], 43u);
+}
+
+TEST_F(BundleTest, OverflowPanics)
+{
+    BundleHandle b = BundleHandle::adopt(Bundle::create(hm_, 1, 2));
+    b->append({1});
+    b->append({2});
+    EXPECT_DEATH(b->append({3}), "bundle overflow");
+}
+
+TEST_F(BundleTest, ArityMismatchPanics)
+{
+    BundleHandle b = BundleHandle::adopt(Bundle::create(hm_, 2, 2));
+    EXPECT_DEATH(b->append({1}), "arity mismatch");
+}
+
+} // namespace
+} // namespace sbhbm::columnar

@@ -1,0 +1,39 @@
+#include "columnar/window.h"
+
+#include <gtest/gtest.h>
+
+namespace sbhbm::columnar {
+namespace {
+
+TEST(WindowSpec, MapsTimestampsToWindows)
+{
+    WindowSpec w{.width = 1000};
+    EXPECT_EQ(w.windowOf(0), 0u);
+    EXPECT_EQ(w.windowOf(999), 0u);
+    EXPECT_EQ(w.windowOf(1000), 1u);
+    EXPECT_EQ(w.windowOf(2500), 2u);
+}
+
+TEST(WindowSpec, StartEndAreHalfOpen)
+{
+    WindowSpec w{.width = 1000};
+    EXPECT_EQ(w.start(2), 2000u);
+    EXPECT_EQ(w.end(2), 3000u);
+    // A ts equal to end() belongs to the next window.
+    EXPECT_EQ(w.windowOf(w.end(2)), 3u);
+}
+
+TEST(WindowSpec, DefaultWindowIsOneSecond)
+{
+    WindowSpec w;
+    EXPECT_EQ(w.width, kNsPerSec);
+}
+
+TEST(WindowSpecDeath, ZeroWidthPanics)
+{
+    WindowSpec w{.width = 0};
+    EXPECT_DEATH((void)w.windowOf(1), "zero-width window");
+}
+
+} // namespace
+} // namespace sbhbm::columnar

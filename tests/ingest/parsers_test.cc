@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Property tests of the Fig 11 ingestion parsers: every codec must
+ * round-trip arbitrary records, reject malformed input, and parse
+ * streams of concatenated records.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ingest/parse/parsers.h"
+
+namespace sbhbm::ingest::parse {
+namespace {
+
+/** Value patterns worth stressing. */
+std::vector<uint64_t>
+interestingValues()
+{
+    return {0,
+            1,
+            9,
+            10,
+            127,
+            128,
+            16383,
+            16384,
+            999999999,
+            0x7fffffffffffffffull,
+            0xffffffffffffffffull};
+}
+
+// ---------------------------------------------------------------
+// Round-trip properties, parameterized over record arity.
+// ---------------------------------------------------------------
+
+class ParserRoundTrip : public ::testing::TestWithParam<uint32_t>
+{
+  protected:
+    uint32_t cols() const { return GetParam(); }
+};
+
+TEST_P(ParserRoundTrip, JsonRoundTripsRandomRecords)
+{
+    Rng rng(11);
+    for (int iter = 0; iter < 200; ++iter) {
+        uint64_t in[kMaxFields], out[kMaxFields];
+        for (uint32_t c = 0; c < cols(); ++c)
+            in[c] = rng.next();
+        std::string buf;
+        encodeJson(in, cols(), buf);
+        const char *end = buf.data() + buf.size();
+        const char *p = parseJson(buf.data(), end, out, cols());
+        ASSERT_NE(p, nullptr);
+        for (uint32_t c = 0; c < cols(); ++c)
+            EXPECT_EQ(out[c], in[c]);
+    }
+}
+
+TEST_P(ParserRoundTrip, ProtoRoundTripsBoundaryValues)
+{
+    for (uint64_t v : interestingValues()) {
+        uint64_t in[kMaxFields], out[kMaxFields];
+        for (uint32_t c = 0; c < cols(); ++c)
+            in[c] = v + c;
+        std::vector<uint8_t> buf;
+        encodeProto(in, cols(), buf);
+        const uint8_t *p =
+            parseProto(buf.data(), buf.data() + buf.size(), out, cols());
+        ASSERT_NE(p, nullptr);
+        for (uint32_t c = 0; c < cols(); ++c)
+            EXPECT_EQ(out[c], in[c]);
+    }
+}
+
+TEST_P(ParserRoundTrip, TextRoundTripsBoundaryValues)
+{
+    for (uint64_t v : interestingValues()) {
+        uint64_t in[kMaxFields], out[kMaxFields];
+        for (uint32_t c = 0; c < cols(); ++c)
+            in[c] = v >= c ? v - c : v;
+        std::string buf;
+        encodeText(in, cols(), buf);
+        const char *p =
+            parseText(buf.data(), buf.data() + buf.size(), out, cols());
+        ASSERT_NE(p, nullptr);
+        for (uint32_t c = 0; c < cols(); ++c)
+            EXPECT_EQ(out[c], in[c]);
+    }
+}
+
+TEST_P(ParserRoundTrip, StreamsOfRecordsParseBackToBack)
+{
+    Rng rng(13);
+    constexpr int kRecords = 300;
+    std::vector<uint64_t> in(kRecords * cols());
+    for (auto &v : in)
+        v = rng.nextBounded(1u << 30);
+
+    std::string text_buf, json_buf;
+    std::vector<uint8_t> proto_buf;
+    for (int r = 0; r < kRecords; ++r) {
+        encodeText(&in[r * cols()], cols(), text_buf);
+        encodeJson(&in[r * cols()], cols(), json_buf);
+        encodeProto(&in[r * cols()], cols(), proto_buf);
+    }
+
+    uint64_t out[kMaxFields];
+    const char *tp = text_buf.data();
+    const char *jp = json_buf.data();
+    const uint8_t *pp = proto_buf.data();
+    for (int r = 0; r < kRecords; ++r) {
+        tp = parseText(tp, text_buf.data() + text_buf.size(), out,
+                       cols());
+        ASSERT_NE(tp, nullptr) << "text record " << r;
+        EXPECT_EQ(out[cols() - 1], in[r * cols() + cols() - 1]);
+
+        jp = parseJson(jp, json_buf.data() + json_buf.size(), out,
+                       cols());
+        ASSERT_NE(jp, nullptr) << "json record " << r;
+        EXPECT_EQ(out[0], in[r * cols()]);
+
+        pp = parseProto(pp, proto_buf.data() + proto_buf.size(), out,
+                        cols());
+        ASSERT_NE(pp, nullptr) << "proto record " << r;
+        EXPECT_EQ(out[0], in[r * cols()]);
+    }
+    EXPECT_EQ(tp, text_buf.data() + text_buf.size());
+    EXPECT_EQ(pp, proto_buf.data() + proto_buf.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Arities, ParserRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 4u, 7u));
+
+// ---------------------------------------------------------------
+// Malformed input must be rejected, not misparsed.
+// ---------------------------------------------------------------
+
+TEST(ParserErrors, JsonRejectsTruncation)
+{
+    uint64_t in[3] = {1, 2, 3}, out[3];
+    std::string buf;
+    encodeJson(in, 3, buf);
+    for (size_t cut = 1; cut + 1 < buf.size(); ++cut) {
+        EXPECT_EQ(parseJson(buf.data(), buf.data() + cut, out, 3),
+                  nullptr)
+            << "cut at " << cut;
+    }
+}
+
+TEST(ParserErrors, JsonRejectsGarbage)
+{
+    uint64_t out[2];
+    const std::string bad[] = {"", "{", "[1,2]", "{\"a\":}",
+                               "{\"a\":1;\"b\":2}", "nonsense"};
+    for (const auto &s : bad) {
+        EXPECT_EQ(parseJson(s.data(), s.data() + s.size(), out, 2),
+                  nullptr)
+            << s;
+    }
+}
+
+TEST(ParserErrors, ProtoRejectsTruncationAndBadTags)
+{
+    uint64_t in[3] = {1ull << 40, 2, 3}, out[3];
+    std::vector<uint8_t> buf;
+    encodeProto(in, 3, buf);
+    for (size_t cut = 1; cut + 1 < buf.size(); ++cut) {
+        EXPECT_EQ(parseProto(buf.data(), buf.data() + cut, out, 3),
+                  nullptr)
+            << "cut at " << cut;
+    }
+    // Wrong field order / wire type.
+    std::vector<uint8_t> bad = buf;
+    bad[0] = (2 << 3) | 0; // field 2 where 1 expected
+    EXPECT_EQ(parseProto(bad.data(), bad.data() + bad.size(), out, 3),
+              nullptr);
+    bad = buf;
+    bad[0] = (1 << 3) | 2; // length-delimited wire type
+    EXPECT_EQ(parseProto(bad.data(), bad.data() + bad.size(), out, 3),
+              nullptr);
+}
+
+TEST(ParserErrors, TextRejectsMalformedLines)
+{
+    uint64_t out[3];
+    const std::string bad[] = {"", "1|2", "1|2|", "a|2|3\n", "1||3\n",
+                               "1|2|3"};
+    for (const auto &s : bad) {
+        EXPECT_EQ(parseText(s.data(), s.data() + s.size(), out, 3),
+                  nullptr)
+            << '"' << s << '"';
+    }
+}
+
+TEST(ParserErrors, ProtoRejectsOverlongVarint)
+{
+    // 11 continuation bytes encode > 64 bits.
+    std::vector<uint8_t> buf{(1 << 3) | 0};
+    for (int i = 0; i < 10; ++i)
+        buf.push_back(0x80);
+    buf.push_back(0x01);
+    uint64_t out[1];
+    EXPECT_EQ(parseProto(buf.data(), buf.data() + buf.size(), out, 1),
+              nullptr);
+}
+
+} // namespace
+} // namespace sbhbm::ingest::parse

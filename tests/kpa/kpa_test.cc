@@ -1,0 +1,137 @@
+#include "kpa/kpa.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "sim/machine_config.h"
+
+namespace sbhbm::kpa {
+namespace {
+
+class KpaTest : public ::testing::Test
+{
+  protected:
+    sim::MachineConfig cfg_ = sim::MachineConfig::knl();
+    mem::HybridMemory hm_{cfg_, sim::MemoryMode::kFlat};
+
+    BundleHandle
+    makeBundle(uint32_t cols, uint32_t rows)
+    {
+        BundleHandle b =
+            BundleHandle::adopt(Bundle::create(hm_, cols, rows));
+        for (uint32_t r = 0; r < rows; ++r) {
+            uint64_t *row = b->appendRaw();
+            for (uint32_t c = 0; c < cols; ++c)
+                row[c] = r * 100 + c;
+        }
+        return b;
+    }
+};
+
+TEST_F(KpaTest, CreateOnHbm)
+{
+    KpaPtr k = Kpa::create(hm_, 100, Placement{mem::Tier::kHbm, false});
+    EXPECT_EQ(k->tier(), mem::Tier::kHbm);
+    EXPECT_EQ(k->size(), 0u);
+    EXPECT_EQ(k->capacity(), 100u);
+    EXPECT_GT(hm_.gauge(mem::Tier::kHbm).used(), 0u);
+    k.reset();
+    EXPECT_EQ(hm_.gauge(mem::Tier::kHbm).used(), 0u);
+}
+
+TEST_F(KpaTest, PushAndAccess)
+{
+    KpaPtr k = Kpa::create(hm_, 4, Placement{mem::Tier::kHbm, false});
+    uint64_t dummy[2] = {1, 2};
+    k->push(10, dummy);
+    k->push(5, dummy + 1);
+    EXPECT_EQ(k->size(), 2u);
+    EXPECT_EQ(k->at(0).key, 10u);
+    EXPECT_EQ(k->at(1).key, 5u);
+    EXPECT_EQ(k->bytes(), 32u);
+    EXPECT_FALSE(k->sorted());
+}
+
+TEST_F(KpaTest, SourceLinksHoldBundleReferences)
+{
+    BundleHandle b = makeBundle(3, 10);
+    EXPECT_EQ(b->refcount(), 1u);
+    {
+        KpaPtr k = Kpa::create(hm_, 10, Placement{mem::Tier::kHbm, false});
+        k->addSource(b.get());
+        EXPECT_EQ(b->refcount(), 2u);
+        // Duplicate link is deduplicated (paper §5.1).
+        k->addSource(b.get());
+        EXPECT_EQ(b->refcount(), 2u);
+    }
+    EXPECT_EQ(b->refcount(), 1u);
+}
+
+TEST_F(KpaTest, BundleSurvivesViaKpaAfterPipelineDropsIt)
+{
+    Bundle *raw = nullptr;
+    KpaPtr k = Kpa::create(hm_, 10, Placement{mem::Tier::kHbm, false});
+    {
+        BundleHandle b = makeBundle(3, 10);
+        raw = b.get();
+        k->addSource(raw);
+    } // pipeline reference dropped; KPA keeps the bundle alive
+    EXPECT_EQ(raw->refcount(), 1u);
+    EXPECT_GT(hm_.gauge(mem::Tier::kDram).used(), 0u);
+    k.reset(); // last reference: bundle reclaimed
+    EXPECT_EQ(hm_.gauge(mem::Tier::kDram).used(), 0u);
+}
+
+TEST_F(KpaTest, AdoptSourcesInheritsAllLinks)
+{
+    BundleHandle b1 = makeBundle(3, 5);
+    BundleHandle b2 = makeBundle(3, 5);
+    KpaPtr k1 = Kpa::create(hm_, 5, Placement{mem::Tier::kHbm, false});
+    KpaPtr k2 = Kpa::create(hm_, 5, Placement{mem::Tier::kHbm, false});
+    k1->addSource(b1.get());
+    k2->addSource(b2.get());
+
+    KpaPtr merged = Kpa::create(hm_, 10, Placement{mem::Tier::kHbm, false});
+    merged->adoptSourcesFrom(*k1);
+    merged->adoptSourcesFrom(*k2);
+    EXPECT_EQ(merged->sources().size(), 2u);
+    EXPECT_EQ(b1->refcount(), 3u); // handle + k1 + merged
+    k1.reset();
+    EXPECT_EQ(b1->refcount(), 2u);
+}
+
+TEST_F(KpaTest, SpillsToDramWhenHbmFull)
+{
+    auto cfg = sim::MachineConfig::knl();
+    cfg.hbm.capacity_bytes = 64_KiB;
+    mem::HybridMemory hm(cfg, sim::MemoryMode::kFlat);
+    // 4096 entries = 64 KiB > non-reserved HBM.
+    KpaPtr k = Kpa::create(hm, 4096, Placement{mem::Tier::kHbm, false});
+    EXPECT_EQ(k->tier(), mem::Tier::kDram);
+}
+
+TEST_F(KpaTest, RecordColsComesFromSourceBundle)
+{
+    BundleHandle b = makeBundle(7, 3);
+    KpaPtr k = Kpa::create(hm_, 3, Placement{mem::Tier::kHbm, false});
+    k->addSource(b.get());
+    EXPECT_EQ(k->recordCols(), 7u);
+}
+
+TEST_F(KpaTest, ZeroCapacityKpaIsValid)
+{
+    KpaPtr k = Kpa::create(hm_, 0, Placement{mem::Tier::kHbm, false});
+    EXPECT_TRUE(k->empty());
+    EXPECT_EQ(k->bytes(), 0u);
+}
+
+TEST_F(KpaTest, OverflowPanics)
+{
+    KpaPtr k = Kpa::create(hm_, 1, Placement{mem::Tier::kHbm, false});
+    uint64_t dummy = 0;
+    k->push(1, &dummy);
+    EXPECT_DEATH(k->push(2, &dummy), "KPA overflow");
+}
+
+} // namespace
+} // namespace sbhbm::kpa

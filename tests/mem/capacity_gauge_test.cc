@@ -1,0 +1,70 @@
+#include "mem/capacity_gauge.h"
+
+#include <gtest/gtest.h>
+
+namespace sbhbm::mem {
+namespace {
+
+TEST(CapacityGauge, BasicReserveRelease)
+{
+    CapacityGauge g(1000, 0);
+    EXPECT_TRUE(g.tryReserve(600, false));
+    EXPECT_EQ(g.used(), 600u);
+    EXPECT_DOUBLE_EQ(g.usedFraction(), 0.6);
+    EXPECT_TRUE(g.tryReserve(400, false));
+    EXPECT_FALSE(g.tryReserve(1, false));
+    g.release(500);
+    EXPECT_EQ(g.used(), 500u);
+    EXPECT_TRUE(g.tryReserve(500, false));
+}
+
+TEST(CapacityGauge, UrgentReserveOnlyForUrgent)
+{
+    CapacityGauge g(1000, 100);
+    // Non-urgent may only use 900.
+    EXPECT_TRUE(g.tryReserve(900, false));
+    EXPECT_FALSE(g.tryReserve(1, false));
+    // Urgent can dip into the reserve.
+    EXPECT_TRUE(g.tryReserve(100, true));
+    EXPECT_FALSE(g.tryReserve(1, true));
+    EXPECT_EQ(g.used(), 1000u);
+}
+
+TEST(CapacityGauge, HasRoomMatchesNonUrgentReserve)
+{
+    CapacityGauge g(1000, 100);
+    EXPECT_TRUE(g.hasRoom(900));
+    EXPECT_FALSE(g.hasRoom(901));
+    g.tryReserve(500, false);
+    EXPECT_TRUE(g.hasRoom(400));
+    EXPECT_FALSE(g.hasRoom(401));
+}
+
+TEST(CapacityGauge, HighWaterTracksPeakUsage)
+{
+    CapacityGauge g(1000, 0);
+    g.tryReserve(700, false);
+    g.release(600);
+    g.tryReserve(200, false);
+    EXPECT_EQ(g.highWater(), 700u);
+    g.tryReserve(600, false);
+    EXPECT_EQ(g.highWater(), 900u);
+}
+
+TEST(CapacityGauge, ZeroCapacityGaugeRejectsEverything)
+{
+    CapacityGauge g(0, 0);
+    EXPECT_FALSE(g.tryReserve(1, false));
+    EXPECT_FALSE(g.tryReserve(1, true));
+    EXPECT_DOUBLE_EQ(g.usedFraction(), 0.0);
+}
+
+TEST(CapacityGaugeDeath, OverReleasePanics)
+{
+    CapacityGauge g(1000, 0);
+    g.tryReserve(100, false);
+    EXPECT_DEATH(g.release(101), "releasing more than used");
+}
+
+} // namespace
+} // namespace sbhbm::mem

@@ -1,0 +1,75 @@
+#include "mem/slab_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace sbhbm::mem {
+namespace {
+
+TEST(SlabAllocator, ClassSizeRoundsUpToPowerOfTwo)
+{
+    EXPECT_EQ(SlabAllocator::classSize(1), 4096u);
+    EXPECT_EQ(SlabAllocator::classSize(4096), 4096u);
+    EXPECT_EQ(SlabAllocator::classSize(4097), 8192u);
+    EXPECT_EQ(SlabAllocator::classSize(100000), 131072u);
+    EXPECT_EQ(SlabAllocator::classSize(1ull << 26), 1ull << 26);
+    // Above the max class, sizes are exact.
+    EXPECT_EQ(SlabAllocator::classSize((1ull << 26) + 1), (1ull << 26) + 1);
+}
+
+TEST(SlabAllocator, AllocationsAre64ByteAligned)
+{
+    SlabAllocator slab;
+    for (uint64_t sz : {1ull, 5000ull, 100000ull, 80ull << 20}) {
+        void *p = slab.alloc(sz);
+        EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 64, 0u) << sz;
+        std::memset(p, 0xab, sz); // must be writable
+        slab.free(p, sz);
+    }
+}
+
+TEST(SlabAllocator, FreedBlocksAreRecycled)
+{
+    SlabAllocator slab;
+    void *a = slab.alloc(10000);
+    slab.free(a, 10000);
+    // Same class (16 KiB) => same block comes back.
+    void *b = slab.alloc(12000);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(slab.recycled(), 1u);
+    EXPECT_EQ(slab.fresh(), 1u);
+    slab.free(b, 12000);
+}
+
+TEST(SlabAllocator, DifferentClassesDoNotMix)
+{
+    SlabAllocator slab;
+    void *a = slab.alloc(4096);
+    slab.free(a, 4096);
+    void *b = slab.alloc(8192); // different class: fresh block
+    EXPECT_EQ(slab.fresh(), 2u);
+    slab.free(b, 8192);
+}
+
+TEST(SlabAllocator, HugeBlocksBypassFreelists)
+{
+    SlabAllocator slab;
+    const uint64_t huge = (64ull << 20) + 1;
+    void *a = slab.alloc(huge);
+    slab.free(a, huge);
+    void *b = slab.alloc(huge);
+    EXPECT_EQ(slab.recycled(), 0u);
+    EXPECT_EQ(slab.fresh(), 2u);
+    slab.free(b, huge);
+}
+
+TEST(SlabAllocator, NullFreeIsANoop)
+{
+    SlabAllocator slab;
+    slab.free(nullptr, 4096);
+    EXPECT_EQ(slab.fresh(), 0u);
+}
+
+} // namespace
+} // namespace sbhbm::mem

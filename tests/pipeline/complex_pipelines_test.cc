@@ -1,0 +1,229 @@
+/**
+ * @file
+ * End-to-end correctness of the two-stream and multi-pass pipelines:
+ * Windowed Filter (benchmark 8) and Power Grid (benchmark 9), checked
+ * against independent reference computations over a replay of the
+ * exact same input.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "ingest/generator.h"
+#include "ingest/source.h"
+#include "pipeline/egress.h"
+#include "pipeline/extract.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/power_grid.h"
+#include "pipeline/windowed_filter.h"
+#include "pipeline/windowing.h"
+
+namespace sbhbm::pipeline {
+namespace {
+
+using ingest::KvGen;
+using ingest::PowerGridGen;
+using ingest::Source;
+using ingest::SourceConfig;
+
+constexpr SimTime kWindow = 50 * kNsPerMs;
+
+runtime::EngineConfig
+engineConfig()
+{
+    runtime::EngineConfig cfg;
+    cfg.cores = 8;
+    return cfg;
+}
+
+/** Capture every output row. */
+class RowCapture : public Operator
+{
+  public:
+    explicit RowCapture(Pipeline &p) : Operator(p, "rows") {}
+
+    std::vector<std::vector<uint64_t>> rows;
+
+  protected:
+    void
+    process(Msg msg, int) override
+    {
+        ASSERT_TRUE(msg.isBundle());
+        for (uint32_t r = 0; r < msg.bundle->size(); ++r) {
+            const uint64_t *row = msg.bundle->row(r);
+            rows.emplace_back(row, row + msg.bundle->cols());
+        }
+        pipe_.noteWindowExternalized(msg.window);
+    }
+};
+
+/** Replay a generator through a capture-only pipeline. */
+template <typename Gen>
+std::vector<std::vector<uint64_t>>
+replay(Gen gen, const SourceConfig &scfg)
+{
+    runtime::Engine eng(engineConfig());
+    Pipeline pipe(eng, columnar::WindowSpec{kWindow});
+
+    class Cap : public Operator
+    {
+      public:
+        Cap(Pipeline &p, std::vector<std::vector<uint64_t>> &out)
+            : Operator(p, "cap"), out_(out)
+        {
+        }
+
+      protected:
+        void
+        process(Msg msg, int) override
+        {
+            for (uint32_t r = 0; r < msg.bundle->size(); ++r) {
+                const uint64_t *row = msg.bundle->row(r);
+                out_.emplace_back(row, row + msg.bundle->cols());
+            }
+        }
+
+      private:
+        std::vector<std::vector<uint64_t>> &out_;
+    };
+
+    std::vector<std::vector<uint64_t>> rows;
+    auto &cap = pipe.add<Cap>(pipe, rows);
+    Source src(eng, pipe, gen, &cap, scfg);
+    src.start();
+    eng.machine().run();
+    return rows;
+}
+
+TEST(WindowedFilterPipeline, SurvivorsMatchReference)
+{
+    runtime::Engine eng(engineConfig());
+    Pipeline pipe(eng, columnar::WindowSpec{kWindow});
+
+    auto &filter = pipe.add<WindowedFilterOp>(pipe, "wf", KvGen::kTsCol,
+                                              KvGen::kValueCol);
+    auto &ex_b = pipe.add<ExtractOp>(pipe, "ex_b", KvGen::kKeyCol);
+    auto &win_b = pipe.add<WindowOp>(pipe, "win_b", KvGen::kTsCol);
+    auto &cap = pipe.add<RowCapture>(pipe);
+    ex_b.connectTo(&win_b);
+    win_b.connectTo(&filter, 1);
+    filter.connectTo(&cap);
+
+    SourceConfig scfg;
+    scfg.bundle_records = 2'000;
+    scfg.total_records = 60'000;
+    KvGen gen_a(31, 40, 1000);
+    KvGen gen_b(32, 40, 1000);
+    Source src_a(eng, pipe, gen_a, &filter, scfg, 0);
+    Source src_b(eng, pipe, gen_b, &ex_b, scfg, 0);
+    src_a.start();
+    src_b.start();
+    eng.machine().run();
+
+    // Reference: per window, average stream A's values; keep B's
+    // records whose value exceeds it.
+    auto rows_a = replay(KvGen(31, 40, 1000), scfg);
+    auto rows_b = replay(KvGen(32, 40, 1000), scfg);
+    columnar::WindowSpec spec{kWindow};
+    std::map<uint64_t, std::pair<uint64_t, uint64_t>> avg; // w -> (sum, n)
+    for (const auto &r : rows_a) {
+        auto &[sum, n] = avg[spec.windowOf(r[KvGen::kTsCol])];
+        sum += r[KvGen::kValueCol];
+        ++n;
+    }
+    uint64_t expect_survivors = 0;
+    uint64_t expect_value_sum = 0;
+    for (const auto &r : rows_b) {
+        const auto &[sum, n] = avg[spec.windowOf(r[KvGen::kTsCol])];
+        const uint64_t a = n ? sum / n : 0;
+        if (r[KvGen::kValueCol] > a) {
+            ++expect_survivors;
+            expect_value_sum += r[KvGen::kValueCol];
+        }
+    }
+
+    ASSERT_EQ(cap.rows.size(), expect_survivors);
+    uint64_t got_value_sum = 0;
+    for (const auto &r : cap.rows)
+        got_value_sum += r[KvGen::kValueCol];
+    EXPECT_EQ(got_value_sum, expect_value_sum);
+}
+
+TEST(PowerGridPipeline, WinnersMatchReference)
+{
+    runtime::Engine eng(engineConfig());
+    Pipeline pipe(eng, columnar::WindowSpec{kWindow});
+
+    auto &extract = pipe.add<ExtractOp>(pipe, "ex",
+                                        PowerGridOp::kPlugCol);
+    auto &window = pipe.add<WindowOp>(pipe, "win", PowerGridOp::kTsCol);
+    auto &grid = pipe.add<PowerGridOp>(pipe, "grid");
+    auto &cap = pipe.add<RowCapture>(pipe);
+    extract.connectTo(&window);
+    window.connectTo(&grid);
+    grid.connectTo(&cap);
+
+    SourceConfig scfg;
+    scfg.bundle_records = 2'000;
+    scfg.total_records = 50'000;
+    PowerGridGen gen(77, 10, 8);
+    Source src(eng, pipe, gen, &extract, scfg);
+    src.start();
+    eng.machine().run();
+
+    // Reference: recompute winners per window.
+    auto rows = replay(PowerGridGen(77, 10, 8), scfg);
+    columnar::WindowSpec spec{kWindow};
+    struct PlugAcc
+    {
+        uint64_t sum = 0, n = 0, house = 0;
+    };
+    std::map<uint64_t, std::map<uint64_t, PlugAcc>> per_window;
+    for (const auto &r : rows) {
+        auto &acc = per_window[spec.windowOf(r[PowerGridOp::kTsCol])]
+                              [r[PowerGridOp::kPlugCol]];
+        acc.sum += r[PowerGridOp::kLoadCol];
+        ++acc.n;
+        acc.house = r[PowerGridOp::kHouseCol];
+    }
+    std::map<std::pair<uint64_t, uint64_t>, uint64_t> expect; // (w,house)->cnt
+    for (const auto &[w, plugs] : per_window) {
+        double gsum = 0;
+        uint64_t gn = 0;
+        for (const auto &[plug, a] : plugs) {
+            gsum += static_cast<double>(a.sum);
+            gn += a.n;
+        }
+        const double gavg = gn ? gsum / static_cast<double>(gn) : 0;
+        std::map<uint64_t, uint64_t> high;
+        for (const auto &[plug, a] : plugs) {
+            if (static_cast<double>(a.sum) / static_cast<double>(a.n)
+                > gavg) {
+                ++high[a.house];
+            }
+        }
+        uint64_t best = 0;
+        for (const auto &[h, c] : high)
+            best = std::max(best, c);
+        for (const auto &[h, c] : high)
+            if (c == best && best > 0)
+                expect[{w, h}] = c;
+    }
+
+    std::map<std::pair<uint64_t, uint64_t>, uint64_t> got;
+    // Output rows are (house, count); recover the window by matching
+    // counts — instead, track via total rows and per-house counts.
+    ASSERT_EQ(cap.rows.size(), expect.size());
+    std::multiset<std::pair<uint64_t, uint64_t>> expect_rows, got_rows;
+    for (const auto &[wh, c] : expect)
+        expect_rows.insert({wh.second, c});
+    for (const auto &r : cap.rows)
+        got_rows.insert({r[0], r[1]});
+    EXPECT_EQ(got_rows, expect_rows);
+}
+
+} // namespace
+} // namespace sbhbm::pipeline

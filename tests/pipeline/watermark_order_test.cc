@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Watermark-ordering regression tests.
+ *
+ * The engine executes tasks out of order (costs and priorities
+ * differ), so watermark barriers must track *which* tasks are
+ * outstanding, not how many completed. These tests pin the invariant
+ * that broke once in development: a cheap task spawned after a
+ * watermark must not unblock it while an expensive pre-watermark task
+ * is still in flight.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pipeline/egress.h"
+#include "pipeline/operator.h"
+#include "pipeline/pipeline.h"
+
+namespace sbhbm::pipeline {
+namespace {
+
+runtime::EngineConfig
+config(unsigned cores)
+{
+    runtime::EngineConfig cfg;
+    cfg.cores = cores;
+    return cfg;
+}
+
+/** Spawns one task per received message with a caller-chosen cost. */
+class CostedOp : public Operator
+{
+  public:
+    CostedOp(Pipeline &p, std::string name)
+        : Operator(p, std::move(name))
+    {
+    }
+
+    /** Emit a marker message downstream after cost_ns of work. */
+    void
+    inject(uint64_t marker, double cost_ns)
+    {
+        spawnTracked(ImpactTag::kHigh,
+                     [marker, cost_ns](sim::CostLog &log, Emitter &em) {
+                         log.cpu(cost_ns);
+                         Msg m;
+                         m.min_ts = marker;
+                         em.push(std::move(m));
+                     });
+    }
+
+  protected:
+    void process(Msg, int) override {}
+};
+
+/** Records the arrival order of data markers and watermarks. */
+class OrderSink : public Operator
+{
+  public:
+    explicit OrderSink(Pipeline &p) : Operator(p, "order_sink") {}
+
+    std::vector<int64_t> order; //!< markers >= 0; watermarks as -ts
+
+  protected:
+    void
+    process(Msg msg, int) override
+    {
+        order.push_back(static_cast<int64_t>(msg.min_ts));
+    }
+
+    void
+    onWatermark(columnar::Watermark wm) override
+    {
+        order.push_back(-static_cast<int64_t>(wm.ts));
+    }
+};
+
+TEST(WatermarkOrder, SlowPreWatermarkTaskBlocksForwarding)
+{
+    runtime::Engine eng(config(8));
+    Pipeline pipe(eng, columnar::WindowSpec{100 * kNsPerMs});
+    auto &op = pipe.add<CostedOp>(pipe, "op");
+    auto &sink = pipe.add<OrderSink>(pipe);
+    op.connectTo(&sink);
+
+    // Expensive pre-watermark task, then the watermark, then a cheap
+    // post-watermark task that will *complete* first.
+    op.inject(1, 5e6); // 5 ms
+    op.receiveWatermark(columnar::Watermark{1000});
+    op.inject(2, 1e3); // 1 us
+    eng.machine().run();
+
+    // The watermark must come after marker 1 (its task), in arrival
+    // order; marker 2 completing early must not release it.
+    ASSERT_EQ(sink.order.size(), 3u);
+    EXPECT_EQ(sink.order[0], 2);     // cheap task output
+    EXPECT_EQ(sink.order[1], 1);     // expensive pre-wm output
+    EXPECT_EQ(sink.order[2], -1000); // watermark strictly after
+}
+
+TEST(WatermarkOrder, ManyOutOfOrderTasksStillAlignWatermarks)
+{
+    runtime::Engine eng(config(4));
+    Pipeline pipe(eng, columnar::WindowSpec{100 * kNsPerMs});
+    auto &op = pipe.add<CostedOp>(pipe, "op");
+    auto &sink = pipe.add<OrderSink>(pipe);
+    op.connectTo(&sink);
+
+    // Alternate expensive/cheap tasks with interleaved watermarks.
+    Rng rng(5);
+    EventTime wm = 0;
+    for (int i = 0; i < 50; ++i) {
+        op.inject(100 + i, rng.nextBounded(2) ? 4e6 : 1e3);
+        if (i % 10 == 9) {
+            wm += 1000;
+            op.receiveWatermark(columnar::Watermark{wm});
+        }
+    }
+    eng.machine().run();
+
+    // Every marker injected before a watermark must precede it in the
+    // sink's order.
+    for (int i = 0; i < 50; ++i) {
+        const int64_t marker = 100 + i;
+        const int64_t first_wm_after = -1000 * (i / 10 + 1);
+        size_t marker_pos = 0, wm_pos = 0;
+        for (size_t p = 0; p < sink.order.size(); ++p) {
+            if (sink.order[p] == marker)
+                marker_pos = p;
+            if (sink.order[p] == first_wm_after)
+                wm_pos = p;
+        }
+        if (i / 10 + 1 <= 5) { // watermark exists
+            EXPECT_LT(marker_pos, wm_pos)
+                << "marker " << marker << " overtaken by wm";
+        }
+    }
+}
+
+TEST(WatermarkOrder, TwoPortAlignmentTakesTheMinimum)
+{
+    runtime::Engine eng(config(4));
+    Pipeline pipe(eng, columnar::WindowSpec{100 * kNsPerMs});
+
+    class TwoPort : public Operator
+    {
+      public:
+        explicit TwoPort(Pipeline &p) : Operator(p, "two", 2) {}
+
+      protected:
+        void process(Msg, int) override {}
+    };
+    auto &op = pipe.add<TwoPort>(pipe);
+    auto &sink = pipe.add<OrderSink>(pipe);
+    op.connectTo(&sink);
+
+    op.receiveWatermark(columnar::Watermark{500}, 0);
+    eng.machine().run();
+    EXPECT_TRUE(sink.order.empty()) << "one-sided wm must not forward";
+
+    op.receiveWatermark(columnar::Watermark{300}, 1);
+    eng.machine().run();
+    ASSERT_EQ(sink.order.size(), 1u);
+    EXPECT_EQ(sink.order[0], -300) << "aligned wm is the min of ports";
+
+    op.receiveWatermark(columnar::Watermark{800}, 1);
+    eng.machine().run();
+    ASSERT_EQ(sink.order.size(), 2u);
+    EXPECT_EQ(sink.order[1], -500);
+}
+
+} // namespace
+} // namespace sbhbm::pipeline

@@ -1,0 +1,120 @@
+#include "runtime/balance_knob.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sbhbm::runtime {
+namespace {
+
+TEST(BalanceKnob, StartsFullyOnHbm)
+{
+    BalanceKnob k;
+    EXPECT_DOUBLE_EQ(k.kLow(), 1.0);
+    EXPECT_DOUBLE_EQ(k.kHigh(), 1.0);
+}
+
+TEST(BalanceKnob, UrgentAlwaysPrefersHbm)
+{
+    BalanceKnob k;
+    Rng rng(1);
+    // Even with both probabilities at zero.
+    for (int i = 0; i < 40; ++i)
+        k.update(/*hbm=*/0.99, /*dram_bw=*/0.1, true);
+    EXPECT_DOUBLE_EQ(k.kLow(), 0.0);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(k.preferHbm(ImpactTag::kUrgent, rng));
+}
+
+TEST(BalanceKnob, HbmPressureLowersKLowFirst)
+{
+    BalanceKnob k;
+    k.update(0.9, 0.2, true);
+    EXPECT_DOUBLE_EQ(k.kLow(), 0.95);
+    EXPECT_DOUBLE_EQ(k.kHigh(), 1.0);
+    // 19 more steps: k_low hits 0; k_high still untouched.
+    for (int i = 0; i < 19; ++i)
+        k.update(0.9, 0.2, true);
+    EXPECT_DOUBLE_EQ(k.kLow(), 0.0);
+    EXPECT_DOUBLE_EQ(k.kHigh(), 1.0);
+    // Next step moves k_high (headroom ok).
+    k.update(0.9, 0.2, true);
+    EXPECT_DOUBLE_EQ(k.kHigh(), 0.95);
+}
+
+TEST(BalanceKnob, KHighFrozenWithoutDelayHeadroom)
+{
+    BalanceKnob k;
+    for (int i = 0; i < 25; ++i)
+        k.update(0.9, 0.2, /*headroom=*/false);
+    EXPECT_DOUBLE_EQ(k.kLow(), 0.0);
+    EXPECT_DOUBLE_EQ(k.kHigh(), 1.0) << "k_high needs 10% delay headroom";
+}
+
+TEST(BalanceKnob, DramSaturationRaisesBackToHbm)
+{
+    BalanceKnob k;
+    for (int i = 0; i < 10; ++i)
+        k.update(0.9, 0.2, true); // push down to 0.5
+    EXPECT_DOUBLE_EQ(k.kLow(), 0.5);
+    // DRAM bandwidth saturated, HBM has room: pull back.
+    for (int i = 0; i < 4; ++i)
+        k.update(0.4, 0.95, true);
+    EXPECT_DOUBLE_EQ(k.kLow(), 0.7);
+}
+
+TEST(BalanceKnob, BothSaturatedHoldsSteady)
+{
+    BalanceKnob k;
+    for (int i = 0; i < 5; ++i)
+        k.update(0.9, 0.2, true);
+    const double low = k.kLow();
+    // Top-right corner of Fig 6: both at their limit -> back-pressure
+    // territory, knob holds.
+    for (int i = 0; i < 10; ++i)
+        k.update(0.95, 0.95, true);
+    EXPECT_DOUBLE_EQ(k.kLow(), low);
+}
+
+TEST(BalanceKnob, ComfortableStateDriftsBackToDefault)
+{
+    BalanceKnob k;
+    for (int i = 0; i < 6; ++i)
+        k.update(0.9, 0.2, true);
+    EXPECT_LT(k.kLow(), 1.0);
+    for (int i = 0; i < 50; ++i)
+        k.update(0.2, 0.2, true); // low demand on both
+    EXPECT_DOUBLE_EQ(k.kLow(), 1.0);
+}
+
+TEST(BalanceKnob, ProbabilitiesDrivePlacementFrequency)
+{
+    BalanceKnob k;
+    for (int i = 0; i < 10; ++i)
+        k.update(0.9, 0.2, true); // k_low = 0.5
+    Rng rng(7);
+    int hbm = 0;
+    const int trials = 10000;
+    for (int i = 0; i < trials; ++i)
+        hbm += k.preferHbm(ImpactTag::kLow, rng) ? 1 : 0;
+    EXPECT_NEAR(hbm / static_cast<double>(trials), 0.5, 0.02);
+    // High tasks still always HBM (k_high untouched at 1.0).
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(k.preferHbm(ImpactTag::kHigh, rng));
+}
+
+TEST(BalanceKnob, KnobClampedToUnitRange)
+{
+    BalanceKnob k;
+    for (int i = 0; i < 100; ++i)
+        k.update(0.9, 0.2, true);
+    EXPECT_GE(k.kLow(), 0.0);
+    EXPECT_GE(k.kHigh(), 0.0);
+    for (int i = 0; i < 200; ++i)
+        k.update(0.1, 0.95, true);
+    EXPECT_LE(k.kLow(), 1.0);
+    EXPECT_LE(k.kHigh(), 1.0);
+}
+
+} // namespace
+} // namespace sbhbm::runtime

@@ -1,0 +1,180 @@
+#include "runtime/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/units.h"
+#include "sim/machine.h"
+
+namespace sbhbm::runtime {
+namespace {
+
+sim::MachineConfig
+testConfig(unsigned cores = 4)
+{
+    auto cfg = sim::MachineConfig::knl();
+    cfg.cores = cores;
+    return cfg;
+}
+
+TEST(Executor, RunsATaskAndItsCompletion)
+{
+    sim::Machine m(testConfig());
+    Executor ex(m, 4);
+    bool ran = false, done = false;
+    ex.spawn(
+        ImpactTag::kHigh,
+        [&](sim::CostLog &log) {
+            ran = true;
+            log.cpu(1000);
+        },
+        [&] { done = true; });
+    EXPECT_TRUE(ran) << "task body runs at dispatch";
+    EXPECT_FALSE(done) << "completion only in virtual time";
+    m.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(ex.completedTasks(), 1u);
+    EXPECT_TRUE(ex.idle());
+}
+
+TEST(Executor, AtMostCoresTasksInFlight)
+{
+    sim::Machine m(testConfig(4));
+    Executor ex(m, 2);
+    // 6 equal CPU tasks of 1 us on 2 cores => 3 serial waves, 3 us.
+    SimTime last_done = 0;
+    for (int i = 0; i < 6; ++i) {
+        ex.spawn(
+            ImpactTag::kHigh,
+            [](sim::CostLog &log) { log.cpu(1000); },
+            [&] { last_done = m.now(); });
+    }
+    EXPECT_EQ(ex.busyCores(), 2u);
+    EXPECT_EQ(ex.queuedTasks(), 4u);
+    m.run();
+    // Dispatch overhead adds kTaskDispatchNs per task.
+    const double per_task = 1000 + sim::cost::kTaskDispatchNs;
+    EXPECT_NEAR(static_cast<double>(last_done), 3 * per_task, 30);
+}
+
+TEST(Executor, UrgentTasksPreemptQueueOrder)
+{
+    sim::Machine m(testConfig(4));
+    Executor ex(m, 1);
+    std::vector<int> order;
+    auto task = [&](int id) {
+        return [&order, id](sim::CostLog &log) {
+            order.push_back(id);
+            log.cpu(100);
+        };
+    };
+    // Occupy the core, then queue low, high, urgent.
+    ex.spawn(ImpactTag::kLow, task(0));
+    ex.spawn(ImpactTag::kLow, task(1));
+    ex.spawn(ImpactTag::kHigh, task(2));
+    ex.spawn(ImpactTag::kUrgent, task(3));
+    m.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 3, 2, 1}));
+}
+
+TEST(Executor, FifoWithinSameTag)
+{
+    sim::Machine m(testConfig(4));
+    Executor ex(m, 1);
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i) {
+        ex.spawn(ImpactTag::kHigh, [&order, i](sim::CostLog &log) {
+            order.push_back(i);
+            log.cpu(10);
+        });
+    }
+    m.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Executor, ParallelForJoinsAllShards)
+{
+    sim::Machine m(testConfig(8));
+    Executor ex(m, 8);
+    uint32_t sum = 0;
+    bool all_done = false;
+    SimTime done_at = 0;
+    ex.parallelFor(
+        ImpactTag::kHigh, 16,
+        [&](uint32_t i, sim::CostLog &log) {
+            sum += i;
+            log.cpu(1000);
+        },
+        [&] {
+            all_done = true;
+            done_at = m.now();
+        });
+    m.run();
+    EXPECT_TRUE(all_done);
+    EXPECT_EQ(sum, 120u);
+    // 16 tasks on 8 cores: two waves.
+    const double per_task = 1000 + sim::cost::kTaskDispatchNs;
+    EXPECT_NEAR(static_cast<double>(done_at), 2 * per_task, 20);
+}
+
+TEST(Executor, ParallelForZeroShardsStillCompletes)
+{
+    sim::Machine m(testConfig());
+    Executor ex(m, 2);
+    bool done = false;
+    ex.parallelFor(
+        ImpactTag::kHigh, 0, [](uint32_t, sim::CostLog &) {},
+        [&] { done = true; });
+    EXPECT_FALSE(done);
+    m.run();
+    EXPECT_TRUE(done);
+}
+
+TEST(Executor, CompletionMaySpawnMoreTasks)
+{
+    sim::Machine m(testConfig());
+    Executor ex(m, 2);
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 4) {
+            ex.spawn(
+                ImpactTag::kHigh,
+                [](sim::CostLog &log) { log.cpu(100); },
+                chain);
+        }
+    };
+    ex.spawn(
+        ImpactTag::kHigh, [](sim::CostLog &log) { log.cpu(100); }, chain);
+    m.run();
+    EXPECT_EQ(depth, 4);
+    EXPECT_EQ(ex.completedTasks(), 4u);
+}
+
+TEST(Executor, MemoryContentionDelaysCompletionOfParallelTasks)
+{
+    // 8 tasks each streaming 1 GB from DRAM (80 GB/s peak, 5.6 GB/s
+    // per-core cap on KNL): 8 flows run at their cap (44.8 < 80).
+    sim::Machine m(testConfig(8));
+    Executor ex(m, 8);
+    SimTime done_at = 0;
+    for (int i = 0; i < 8; ++i) {
+        ex.spawn(
+            ImpactTag::kHigh,
+            [](sim::CostLog &log) {
+                log.seq(sim::Tier::kDram, 1000000000ull);
+            },
+            [&] { done_at = m.now(); });
+    }
+    m.run();
+    EXPECT_NEAR(static_cast<double>(done_at), 1e9 / 5.6, 3e6);
+}
+
+TEST(ExecutorDeath, MoreCoresThanMachinePanics)
+{
+    sim::Machine m(testConfig(4));
+    EXPECT_DEATH(Executor(m, 5), "core count");
+}
+
+} // namespace
+} // namespace sbhbm::runtime

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Failure-injection tests: the engine's behaviour at resource
+ * exhaustion boundaries — HBM capacity spill, the urgent reserve,
+ * DRAM exhaustion (fatal), and the ingestion deadlock guard.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ingest/generator.h"
+#include "ingest/source.h"
+#include "pipeline/egress.h"
+#include "pipeline/pipeline.h"
+#include "runtime/engine.h"
+
+namespace sbhbm::runtime {
+namespace {
+
+EngineConfig
+tinyHbmConfig(uint64_t hbm_bytes)
+{
+    EngineConfig cfg;
+    cfg.cores = 4;
+    cfg.machine.hbm.capacity_bytes = hbm_bytes;
+    return cfg;
+}
+
+TEST(FailureInjection, HbmExhaustionSpillsToDram)
+{
+    Engine e(tinyHbmConfig(4_MiB));
+    std::vector<mem::Block> blocks;
+    // Request far more than HBM holds; allocations must spill, never
+    // fail, and accounting must stay exact.
+    for (int i = 0; i < 64; ++i) {
+        blocks.push_back(e.memory().alloc(256_KiB, mem::Tier::kHbm));
+        ASSERT_TRUE(blocks.back());
+    }
+    uint64_t on_hbm = 0, on_dram = 0;
+    for (const auto &b : blocks)
+        (b.tier == mem::Tier::kHbm ? on_hbm : on_dram) += b.charged_bytes;
+    EXPECT_GT(on_hbm, 0u);
+    EXPECT_GT(on_dram, 0u) << "spill did not happen";
+    EXPECT_LE(e.memory().gauge(mem::Tier::kHbm).used(), 4_MiB);
+    EXPECT_EQ(e.memory().gauge(mem::Tier::kHbm).used(), on_hbm);
+    EXPECT_EQ(e.memory().gauge(mem::Tier::kDram).used(), on_dram);
+    for (auto &b : blocks)
+        e.memory().free(b);
+    EXPECT_EQ(e.memory().gauge(mem::Tier::kHbm).used(), 0u);
+    EXPECT_EQ(e.memory().gauge(mem::Tier::kDram).used(), 0u);
+}
+
+TEST(FailureInjection, UrgentReserveSurvivesNonUrgentPressure)
+{
+    Engine e(tinyHbmConfig(10_MiB));
+    // Fill all non-reserved HBM with non-urgent blocks.
+    std::vector<mem::Block> filler;
+    while (e.memory().hbmHasRoom(64_KiB))
+        filler.push_back(e.memory().alloc(64_KiB, mem::Tier::kHbm));
+    // A non-urgent request now spills...
+    mem::Block spilled = e.memory().alloc(64_KiB, mem::Tier::kHbm);
+    EXPECT_EQ(spilled.tier, mem::Tier::kDram);
+    // ...but an urgent one still lands on HBM (the reserved pool).
+    mem::Block urgent =
+        e.memory().alloc(64_KiB, mem::Tier::kHbm, /*urgent=*/true);
+    EXPECT_EQ(urgent.tier, mem::Tier::kHbm);
+    e.memory().free(spilled);
+    e.memory().free(urgent);
+    for (auto &b : filler)
+        e.memory().free(b);
+}
+
+TEST(FailureInjection, PlacementFallsBackUnderHbmPressure)
+{
+    Engine e(tinyHbmConfig(2_MiB));
+    // Exhaust non-reserved HBM.
+    std::vector<mem::Block> filler;
+    while (e.memory().hbmHasRoom(256_KiB))
+        filler.push_back(e.memory().alloc(256_KiB, mem::Tier::kHbm));
+    // Low/High placements must choose DRAM now.
+    const auto p_low = e.placeKpa(ImpactTag::kLow, 256_KiB);
+    const auto p_high = e.placeKpa(ImpactTag::kHigh, 256_KiB);
+    EXPECT_EQ(p_low.tier, mem::Tier::kDram);
+    EXPECT_EQ(p_high.tier, mem::Tier::kDram);
+    // Urgent still goes to the HBM reserve.
+    const auto p_urgent = e.placeKpa(ImpactTag::kUrgent, 64_KiB);
+    EXPECT_EQ(p_urgent.tier, mem::Tier::kHbm);
+    EXPECT_TRUE(p_urgent.urgent);
+    for (auto &b : filler)
+        e.memory().free(b);
+}
+
+using FailureInjectionDeath = ::testing::Test;
+
+TEST(FailureInjectionDeath, DramExhaustionIsFatal)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            EngineConfig cfg;
+            cfg.cores = 2;
+            cfg.machine.dram.capacity_bytes = 1_MiB;
+            cfg.machine.hbm.capacity_bytes = 1_MiB;
+            Engine e(cfg);
+            std::vector<mem::Block> blocks;
+            for (int i = 0; i < 64; ++i)
+                blocks.push_back(
+                    e.memory().alloc(256_KiB, mem::Tier::kDram));
+        },
+        "DRAM exhausted");
+}
+
+TEST(FailureInjectionDeath, IngestionDeadlockGuardFires)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            // An in-flight budget that cannot cover one window, with
+            // a sink that holds bundles until its window closes —
+            // which it never can. The guard must abort with a clear
+            // message instead of spinning forever.
+            EngineConfig cfg;
+            cfg.cores = 2;
+            cfg.max_inflight_bundles = 2;
+            Engine eng(cfg);
+            pipeline::Pipeline pipe(eng,
+                                    columnar::WindowSpec{kNsPerSec});
+
+            class HoldSink : public pipeline::Operator
+            {
+              public:
+                explicit HoldSink(pipeline::Pipeline &p)
+                    : Operator(p, "hold")
+                {
+                }
+                std::vector<pipeline::Msg> held;
+
+              protected:
+                void
+                process(pipeline::Msg msg, int) override
+                {
+                    held.push_back(std::move(msg));
+                }
+            };
+            auto &hold = pipe.add<HoldSink>(pipe);
+
+            ingest::KvGen gen(1, 10, 10);
+            ingest::SourceConfig scfg;
+            scfg.bundle_records = 1000;
+            scfg.total_records = 1'000'000;
+            ingest::Source src(eng, pipe, gen, &hold, scfg);
+            src.start();
+            eng.machine().run();
+        },
+        "back-pressured");
+}
+
+} // namespace
+} // namespace sbhbm::runtime

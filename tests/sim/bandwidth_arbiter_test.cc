@@ -1,0 +1,140 @@
+#include "sim/bandwidth_arbiter.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace sbhbm::sim {
+namespace {
+
+constexpr double kPeakSeq = 100e9; // 100 GB/s
+constexpr double kPeakRand = 40e9; // 40 GB/s
+
+TEST(BandwidthArbiter, SingleFlowRunsAtItsCap)
+{
+    BandwidthArbiter arb(kPeakSeq, kPeakRand);
+    bool done = false;
+    arb.add(10e9, 10e9, AccessPattern::kSequential, [&] { done = true; });
+    arb.recompute();
+    EXPECT_DOUBLE_EQ(arb.currentRate(), 10e9);
+
+    // 10 GB at 10 GB/s => 1 second.
+    const SimTime fin = arb.nextCompletion();
+    EXPECT_NEAR(static_cast<double>(fin), 1e9, 1e3);
+
+    arb.advanceTo(fin);
+    auto callbacks = arb.reapCompleted();
+    ASSERT_EQ(callbacks.size(), 1u);
+    callbacks[0]();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(arb.activeFlows(), 0u);
+}
+
+TEST(BandwidthArbiter, FlowsShareEqualUnderContention)
+{
+    BandwidthArbiter arb(kPeakSeq, kPeakRand);
+    // 20 flows, each capped at 10 GB/s => demand 200 GB/s > 100 peak.
+    for (int i = 0; i < 20; ++i)
+        arb.add(1e9, 10e9, AccessPattern::kSequential, [] {});
+    arb.recompute();
+    // Aggregate pinned at the tier peak.
+    EXPECT_NEAR(arb.currentRate(), kPeakSeq, 1);
+    // Each flow gets 5 GB/s => 1 GB in 0.2 s.
+    EXPECT_NEAR(static_cast<double>(arb.nextCompletion()), 0.2e9, 1e3);
+}
+
+TEST(BandwidthArbiter, UncappedDemandBelowPeakIsFullyGranted)
+{
+    BandwidthArbiter arb(kPeakSeq, kPeakRand);
+    for (int i = 0; i < 4; ++i)
+        arb.add(1e9, 10e9, AccessPattern::kSequential, [] {});
+    arb.recompute();
+    EXPECT_NEAR(arb.currentRate(), 40e9, 1);
+}
+
+TEST(BandwidthArbiter, RandomMixCappedAtRandomPeak)
+{
+    BandwidthArbiter arb(kPeakSeq, kPeakRand);
+    // 50 random flows wanting 2 GB/s each = 100 GB/s demand, but the
+    // random-access aggregate is only 40 GB/s.
+    for (int i = 0; i < 50; ++i)
+        arb.add(1e9, 2e9, AccessPattern::kRandom, [] {});
+    arb.recompute();
+    EXPECT_NEAR(arb.currentRate(), kPeakRand, 1);
+}
+
+TEST(BandwidthArbiter, SequentialTrafficUnaffectedByRandomCap)
+{
+    BandwidthArbiter arb(kPeakSeq, kPeakRand);
+    for (int i = 0; i < 50; ++i)
+        arb.add(1e9, 2e9, AccessPattern::kRandom, [] {});
+    for (int i = 0; i < 10; ++i)
+        arb.add(1e9, 6e9, AccessPattern::kSequential, [] {});
+    arb.recompute();
+    // Random mix saturates at 40, sequential adds its full 60.
+    EXPECT_NEAR(arb.currentRate(), 100e9, 1e6);
+}
+
+TEST(BandwidthArbiter, MaxMinHonorsSmallCaps)
+{
+    BandwidthArbiter arb(kPeakSeq, kPeakRand);
+    // One tiny-cap flow and three big ones; the tiny one must get its
+    // full cap, the rest split the remainder.
+    arb.add(1e9, 1e9, AccessPattern::kSequential, [] {});
+    for (int i = 0; i < 3; ++i)
+        arb.add(1e9, 50e9, AccessPattern::kSequential, [] {});
+    arb.recompute();
+    EXPECT_NEAR(arb.currentRate(), 1e9 + 3 * 33e9, 1e8);
+}
+
+TEST(BandwidthArbiter, RatesRecomputeWhenAFlowLeaves)
+{
+    BandwidthArbiter arb(kPeakSeq, kPeakRand);
+    int done = 0;
+    // Flow A: 1 GB; Flow B: 10 GB; both capped 60 GB/s. They share
+    // 50/50 until A drains, then B runs at its cap.
+    arb.add(1e9, 60e9, AccessPattern::kSequential, [&] { ++done; });
+    arb.add(10e9, 60e9, AccessPattern::kSequential, [&] { ++done; });
+    arb.recompute();
+
+    // Shared phase: each at 50 GB/s; A finishes at 20 ms.
+    SimTime t1 = arb.nextCompletion();
+    EXPECT_NEAR(static_cast<double>(t1), 0.02e9, 1e4);
+    arb.advanceTo(t1);
+    for (auto &cb : arb.reapCompleted())
+        cb();
+    EXPECT_EQ(done, 1);
+    arb.recompute();
+    EXPECT_NEAR(arb.currentRate(), 60e9, 1);
+
+    // B had 10 - 1 = 9 GB left, now at 60 GB/s => 150 ms more.
+    SimTime t2 = arb.nextCompletion();
+    EXPECT_NEAR(static_cast<double>(t2 - t1), 0.15e9, 1e5);
+    arb.advanceTo(t2);
+    for (auto &cb : arb.reapCompleted())
+        cb();
+    EXPECT_EQ(done, 2);
+}
+
+TEST(BandwidthArbiter, CumulativeBytesTracksDrainedTraffic)
+{
+    BandwidthArbiter arb(kPeakSeq, kPeakRand);
+    arb.add(2e9, 10e9, AccessPattern::kSequential, [] {});
+    arb.recompute();
+    arb.advanceTo(100 * kNsPerMs); // 0.1 s at 10 GB/s = 1 GB
+    EXPECT_NEAR(arb.cumulativeBytes(), 1e9, 1e6);
+    arb.advanceTo(arb.nextCompletion());
+    EXPECT_NEAR(arb.cumulativeBytes(), 2e9, 1e6);
+    // Cumulative counter never overshoots the flow's byte count.
+    arb.advanceTo(arb.nextCompletion());
+}
+
+TEST(BandwidthArbiterDeath, ZeroByteFlowPanics)
+{
+    BandwidthArbiter arb(kPeakSeq, kPeakRand);
+    EXPECT_DEATH(arb.add(0, 1e9, AccessPattern::kSequential, [] {}),
+                 "positive bytes");
+}
+
+} // namespace
+} // namespace sbhbm::sim

@@ -1,0 +1,99 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sbhbm::sim {
+namespace {
+
+TEST(EventQueue, StartsAtTimeZeroAndEmpty)
+{
+    EventQueue q;
+    EXPECT_EQ(q.now(), 0u);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.nextTime(), kSimTimeNever);
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, EqualTimestampsFireInInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        q.schedule(100, [&, i] { order.push_back(i); });
+    q.run();
+    ASSERT_EQ(order.size(), 16u);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ClockAdvancesToEventTime)
+{
+    EventQueue q;
+    SimTime seen = 0;
+    q.schedule(12345, [&] { seen = q.now(); });
+    q.run();
+    EXPECT_EQ(seen, 12345u);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 5)
+            q.schedule(q.now() + 10, chain);
+    };
+    q.schedule(0, chain);
+    q.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(q.now(), 40u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimitAndAdvancesClock)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.schedule(100, [&] { ++fired; });
+    q.runUntil(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.now(), 50u);
+    EXPECT_EQ(q.size(), 1u);
+    q.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, RunUntilIncludesEventsAtTheLimit)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(50, [&] { ++fired; });
+    q.runUntil(50);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueDeath, SchedulingIntoThePastPanics)
+{
+    EventQueue q;
+    q.schedule(100, [] {});
+    q.run();
+    EXPECT_DEATH(q.schedule(50, [] {}), "scheduling into the past");
+}
+
+} // namespace
+} // namespace sbhbm::sim
