@@ -1,0 +1,23 @@
+# Runs an example binary and checks exit status plus a key output line.
+# Usage: cmake -DEXE=<path> [-DARGS=<a;b;...>] -DPASS_REGEX=<regex> -P run_smoke.cmake
+if(NOT DEFINED EXE)
+    message(FATAL_ERROR "run_smoke.cmake: EXE not set")
+endif()
+set(cmd ${EXE})
+if(DEFINED ARGS AND NOT ARGS STREQUAL "")
+    list(APPEND cmd ${ARGS})
+endif()
+execute_process(COMMAND ${cmd}
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+message(STATUS "---- stdout ----\n${out}")
+if(NOT err STREQUAL "")
+    message(STATUS "---- stderr ----\n${err}")
+endif()
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "smoke: ${EXE} exited with status ${rc}")
+endif()
+if(DEFINED PASS_REGEX AND NOT out MATCHES "${PASS_REGEX}")
+    message(FATAL_ERROR "smoke: output of ${EXE} does not match '${PASS_REGEX}'")
+endif()

@@ -10,7 +10,7 @@
  *   4. run, and read the results off the egress operator.
  *
  * Build & run:
- *   cmake -B build -G Ninja && cmake --build build
+ *   cmake -B build -S . && cmake --build build -j
  *   ./build/examples/quickstart
  */
 

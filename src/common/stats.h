@@ -96,7 +96,9 @@ class SampleSet
     double
     max() const
     {
-        double best = 0.0;
+        if (samples_.empty())
+            return 0.0;
+        double best = samples_.front();
         for (double v : samples_)
             best = std::max(best, v);
         return best;

@@ -1,0 +1,69 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace sbhbm {
+namespace {
+
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { setQuietLogging(false); }
+};
+
+TEST_F(LoggingTest, QuietFlagRoundTrips)
+{
+    EXPECT_FALSE(quietLogging());
+    setQuietLogging(true);
+    EXPECT_TRUE(quietLogging());
+    setQuietLogging(false);
+    EXPECT_FALSE(quietLogging());
+}
+
+TEST_F(LoggingTest, InformGoesToStdoutWithLevelTag)
+{
+    ::testing::internal::CaptureStdout();
+    sbhbm_inform("hello %d", 42);
+    const std::string out = ::testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("[info] hello 42"), std::string::npos);
+}
+
+TEST_F(LoggingTest, QuietSuppressesInformOnly)
+{
+    setQuietLogging(true);
+    ::testing::internal::CaptureStdout();
+    ::testing::internal::CaptureStderr();
+    sbhbm_inform("should vanish");
+    sbhbm_warn("still visible");
+    EXPECT_EQ(::testing::internal::GetCapturedStdout(), "");
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("[warn] still visible"), std::string::npos);
+}
+
+TEST_F(LoggingTest, AssertPassesWhenConditionHolds)
+{
+    // Must also evaluate the condition exactly once.
+    int evaluations = 0;
+    sbhbm_assert(++evaluations > 0, "never fires");
+    EXPECT_EQ(evaluations, 1);
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(sbhbm_panic("boom %s", "now"), "\\[panic\\] boom now");
+}
+
+TEST(LoggingDeath, FatalExitsWithStatusOne)
+{
+    EXPECT_EXIT(sbhbm_fatal("bad config"),
+                ::testing::ExitedWithCode(1), "\\[fatal\\] bad config");
+}
+
+TEST(LoggingDeath, FailedAssertNamesTheCondition)
+{
+    const int x = -1;
+    EXPECT_DEATH(sbhbm_assert(x >= 0, "x=%d", x), "assertion `x >= 0'");
+}
+
+} // namespace
+} // namespace sbhbm

@@ -1,0 +1,110 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace sbhbm {
+namespace {
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next()) << "diverged at step " << i;
+}
+
+TEST(Rng, DifferentSeedsDifferentSequences)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ReseedRestartsTheSequence)
+{
+    Rng r(7);
+    std::vector<uint64_t> first;
+    for (int i = 0; i < 16; ++i)
+        first.push_back(r.next());
+    r.reseed(7);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(r.next(), first[static_cast<size_t>(i)]);
+}
+
+TEST(Rng, DefaultSeedIsDeterministic)
+{
+    Rng a, b;
+    EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, NextBoundedStaysInRange)
+{
+    Rng r(123);
+    for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+        for (int i = 0; i < 200; ++i)
+            ASSERT_LT(r.nextBounded(bound), bound) << "bound=" << bound;
+    }
+}
+
+TEST(Rng, NextBoundedOneIsAlwaysZero)
+{
+    Rng r(9);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.nextBounded(1), 0u);
+}
+
+TEST(Rng, NextBoundedCoversSmallRange)
+{
+    Rng r(5);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(r.nextBounded(4));
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, NextDoubleInHalfOpenUnitInterval)
+{
+    Rng r(77);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = r.nextDouble();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, NextDoubleMeanNearHalf)
+{
+    Rng r(31337);
+    double sum = 0.0;
+    constexpr int kN = 100000;
+    for (int i = 0; i < kN; ++i)
+        sum += r.nextDouble();
+    EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, NextBoolExtremes)
+{
+    Rng r(4);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.nextBool(0.0));
+        EXPECT_TRUE(r.nextBool(1.0));
+    }
+}
+
+TEST(Rng, NextBoolRoughlyMatchesProbability)
+{
+    Rng r(99);
+    int hits = 0;
+    constexpr int kN = 100000;
+    for (int i = 0; i < kN; ++i)
+        hits += r.nextBool(0.25);
+    EXPECT_NEAR(static_cast<double>(hits) / kN, 0.25, 0.01);
+}
+
+} // namespace
+} // namespace sbhbm

@@ -1,0 +1,138 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace sbhbm {
+namespace {
+
+TEST(RunningStat, EmptyReportsZeroes)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStat, SingleSampleIsMinMeanAndMax)
+{
+    RunningStat s;
+    s.add(-3.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.min(), -3.5);
+    EXPECT_DOUBLE_EQ(s.max(), -3.5);
+    EXPECT_DOUBLE_EQ(s.mean(), -3.5);
+}
+
+TEST(RunningStat, TracksMinMaxAcrossNegativeSamples)
+{
+    // First sample negative: min/max must initialize from it, not 0.
+    RunningStat s;
+    s.add(-10.0);
+    s.add(-2.0);
+    s.add(-7.0);
+    EXPECT_DOUBLE_EQ(s.min(), -10.0);
+    EXPECT_DOUBLE_EQ(s.max(), -2.0);
+    EXPECT_DOUBLE_EQ(s.mean(), -19.0 / 3.0);
+}
+
+TEST(RunningStat, ResetReturnsToEmptyState)
+{
+    RunningStat s;
+    s.add(1.0);
+    s.add(2.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(SampleSet, EmptyPercentileIsZero)
+{
+    SampleSet s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_DOUBLE_EQ(s.percentile(50.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(SampleSet, SingleSampleEveryPercentile)
+{
+    SampleSet s;
+    s.add(42.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 42.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50.0), 42.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100.0), 42.0);
+}
+
+TEST(SampleSet, PercentileEndpointsAreMinAndMax)
+{
+    SampleSet s;
+    for (double v : {5.0, 1.0, 9.0, 3.0, 7.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100.0), 9.0);
+}
+
+TEST(SampleSet, MedianOfOddCount)
+{
+    SampleSet s;
+    for (double v : {10.0, 30.0, 20.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.percentile(50.0), 20.0);
+}
+
+TEST(SampleSet, PercentileIgnoresInsertionOrder)
+{
+    SampleSet asc, desc;
+    for (int i = 0; i < 101; ++i) {
+        asc.add(i);
+        desc.add(100 - i);
+    }
+    for (double p : {0.0, 10.0, 25.0, 50.0, 90.0, 99.0, 100.0})
+        EXPECT_DOUBLE_EQ(asc.percentile(p), desc.percentile(p)) << "p=" << p;
+    EXPECT_DOUBLE_EQ(asc.percentile(90.0), 90.0);
+}
+
+TEST(SampleSet, MeanAndMax)
+{
+    SampleSet s;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_EQ(s.size(), 4u);
+}
+
+TEST(SampleSet, MaxOfAllNegativeSamples)
+{
+    // max() must fold from the first sample, not from 0.
+    SampleSet s;
+    s.add(-5.0);
+    s.add(-1.0);
+    s.add(-9.0);
+    EXPECT_DOUBLE_EQ(s.max(), -1.0);
+}
+
+TEST(SampleSet, ClearEmptiesTheSet)
+{
+    SampleSet s;
+    s.add(1.0);
+    s.clear();
+    EXPECT_TRUE(s.empty());
+    EXPECT_DOUBLE_EQ(s.percentile(50.0), 0.0);
+}
+
+TEST(SampleSetDeath, OutOfRangePercentilePanics)
+{
+    SampleSet s;
+    s.add(1.0);
+    EXPECT_DEATH(s.percentile(-1.0), "assertion");
+    EXPECT_DEATH(s.percentile(100.5), "assertion");
+}
+
+} // namespace
+} // namespace sbhbm

@@ -1,0 +1,113 @@
+#include "common/unique_function.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+namespace sbhbm {
+namespace {
+
+TEST(UniqueFunction, DefaultConstructedIsEmpty)
+{
+    UniqueFunction<void()> f;
+    EXPECT_FALSE(f);
+    UniqueFunction<void()> g(nullptr);
+    EXPECT_FALSE(g);
+}
+
+TEST(UniqueFunction, CallsLambdaAndReturnsValue)
+{
+    UniqueFunction<int(int, int)> add = [](int a, int b) { return a + b; };
+    ASSERT_TRUE(add);
+    EXPECT_EQ(add(2, 3), 5);
+}
+
+TEST(UniqueFunction, HoldsMoveOnlyCapture)
+{
+    // std::function cannot hold this target; UniqueFunction must.
+    auto p = std::make_unique<int>(99);
+    UniqueFunction<int()> f = [p = std::move(p)] { return *p; };
+    EXPECT_EQ(f(), 99);
+}
+
+TEST(UniqueFunction, MoveTransfersTarget)
+{
+    UniqueFunction<int()> f = [] { return 7; };
+    UniqueFunction<int()> g = std::move(f);
+    EXPECT_FALSE(f); // NOLINT(bugprone-use-after-move): moved-from is empty
+    ASSERT_TRUE(g);
+    EXPECT_EQ(g(), 7);
+
+    UniqueFunction<int()> h;
+    h = std::move(g);
+    EXPECT_EQ(h(), 7);
+}
+
+TEST(UniqueFunction, IsNotCopyable)
+{
+    using F = UniqueFunction<void()>;
+    static_assert(!std::is_copy_constructible_v<F>);
+    static_assert(!std::is_copy_assignable_v<F>);
+    static_assert(std::is_move_constructible_v<F>);
+    static_assert(std::is_move_assignable_v<F>);
+}
+
+TEST(UniqueFunction, MutatesCapturedState)
+{
+    int calls = 0;
+    UniqueFunction<void()> bump = [&calls] { ++calls; };
+    bump();
+    bump();
+    EXPECT_EQ(calls, 2);
+}
+
+TEST(UniqueFunction, ResetDestroysTheCapturedPayload)
+{
+    bool alive = true;
+    struct Sentinel
+    {
+        bool *flag;
+        ~Sentinel()
+        {
+            if (flag)
+                *flag = false;
+        }
+        Sentinel(bool *f) : flag(f) {}
+        Sentinel(Sentinel &&o) noexcept : flag(o.flag) { o.flag = nullptr; }
+        Sentinel(const Sentinel &) = delete;
+    };
+    UniqueFunction<void()> f = [s = Sentinel(&alive)] { (void)s; };
+    EXPECT_TRUE(alive);
+    f.reset();
+    EXPECT_FALSE(alive);
+    EXPECT_FALSE(f);
+}
+
+TEST(UniqueFunction, ForwardsMoveOnlyArguments)
+{
+    UniqueFunction<int(std::unique_ptr<int>)> f =
+        [](std::unique_ptr<int> p) { return *p; };
+    EXPECT_EQ(f(std::make_unique<int>(11)), 11);
+}
+
+TEST(UniqueFunction, ForwardsReferenceArguments)
+{
+    UniqueFunction<void(std::string &)> f = [](std::string &s) {
+        s += "!";
+    };
+    std::string s = "hi";
+    f(s);
+    EXPECT_EQ(s, "hi!");
+}
+
+TEST(UniqueFunctionDeath, CallingEmptyPanics)
+{
+    UniqueFunction<void()> f;
+    EXPECT_DEATH(f(), "empty UniqueFunction");
+}
+
+} // namespace
+} // namespace sbhbm

@@ -1,0 +1,78 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace sbhbm {
+namespace {
+
+TEST(Units, BinaryByteLiterals)
+{
+    EXPECT_EQ(1_KiB, 1024u);
+    EXPECT_EQ(1_MiB, 1024u * 1024u);
+    EXPECT_EQ(1_GiB, 1024u * 1024u * 1024u);
+    EXPECT_EQ(16_GiB, 16ull << 30);
+    EXPECT_EQ(2_MiB, 2048_KiB);
+}
+
+TEST(Units, BandwidthLiteralsAreDecimal)
+{
+    EXPECT_DOUBLE_EQ(1_GBps, 1e9);
+    EXPECT_DOUBLE_EQ(2.5_GBps, 2.5e9);
+    // Gbps is bits: 40 Gb/s == 5 GB/s.
+    EXPECT_DOUBLE_EQ(40_Gbps, 5e9);
+    EXPECT_DOUBLE_EQ(8_Gbps, 1_GBps);
+}
+
+TEST(Units, TimeConstantsCompose)
+{
+    EXPECT_EQ(kNsPerUs * 1000, kNsPerMs);
+    EXPECT_EQ(kNsPerMs * 1000, kNsPerSec);
+    EXPECT_EQ(kNsPerSec, 1000000000u);
+}
+
+TEST(Units, SecondsRoundTrip)
+{
+    for (double sec : {0.0, 0.001, 0.5, 1.0, 2.75, 3600.0}) {
+        const SimTime t = secondsToSim(sec);
+        EXPECT_DOUBLE_EQ(simToSeconds(t), sec) << "sec=" << sec;
+    }
+    EXPECT_EQ(secondsToSim(1.0), kNsPerSec);
+}
+
+TEST(Units, SimTimeRoundTripThroughSeconds)
+{
+    // Values below 2^53 ns (~104 days) survive the double round-trip.
+    for (SimTime t : {SimTime{0}, SimTime{1}, kNsPerUs, kNsPerMs,
+                      kNsPerSec, 86400 * kNsPerSec}) {
+        EXPECT_EQ(secondsToSim(simToSeconds(t)), t) << "t=" << t;
+    }
+}
+
+TEST(Units, BytesPerSec)
+{
+    EXPECT_DOUBLE_EQ(bytesPerSec(0, kNsPerSec), 0.0);
+    EXPECT_DOUBLE_EQ(bytesPerSec(1000, kNsPerSec), 1000.0);
+    EXPECT_DOUBLE_EQ(bytesPerSec(500, kNsPerMs), 500000.0);
+    // Zero duration must not divide by zero.
+    EXPECT_DOUBLE_EQ(bytesPerSec(12345, 0), 0.0);
+}
+
+TEST(Units, BytesPerSecInverseOfBandwidthLiterals)
+{
+    // Moving 5 GB in one second is exactly 40 Gb/s.
+    EXPECT_DOUBLE_EQ(bytesPerSec(5ull * 1000 * 1000 * 1000, kNsPerSec),
+                     40_Gbps);
+}
+
+TEST(Units, SimTimeNeverIsLargerThanAnyRealTime)
+{
+    EXPECT_GT(kSimTimeNever, 1000000ull * kNsPerSec);
+    EXPECT_EQ(kSimTimeNever, ~0ull);
+    EXPECT_EQ(static_cast<uint64_t>(kSimTimeNever),
+              UINT64_MAX);
+}
+
+} // namespace
+} // namespace sbhbm

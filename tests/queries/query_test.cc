@@ -62,8 +62,8 @@ TEST_P(EveryQuery, Deterministic)
 
 INSTANTIATE_TEST_SUITE_P(AllQueries, EveryQuery,
                          ::testing::ValuesIn(allQueries()),
-                         [](const auto &info) {
-                             std::string n = queryName(info.param);
+                         [](const auto &param_info) {
+                             std::string n = queryName(param_info.param);
                              for (char &c : n)
                                  if (c == ' ')
                                      c = '_';
@@ -100,8 +100,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(EngineKind::kStreamBoxHbm, EngineKind::kCaching,
                       EngineKind::kDramOnly, EngineKind::kCachingNoKpa,
                       EngineKind::kFlinkLike),
-    [](const auto &info) {
-        std::string n = engineKindName(info.param);
+    [](const auto &param_info) {
+        std::string n = engineKindName(param_info.param);
         for (char &c : n)
             if (c == ' ' || c == '-')
                 c = '_';
