@@ -1,12 +1,14 @@
 /**
  * @file
  * Shared helpers for the figure-reproduction benches: aligned table
- * printing and the standard core-count sweep of the paper's figures.
+ * printing, the standard core-count sweep of the paper's figures, and
+ * the machine-readable JSON report the perf-regression harness emits.
  */
 
 #ifndef SBHBM_BENCH_BENCH_UTIL_H
 #define SBHBM_BENCH_BENCH_UTIL_H
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -98,6 +100,74 @@ shapeCheck(const char *what, bool ok)
 {
     std::printf("SHAPE  %-60s %s\n", what, ok ? "ok" : "VIOLATED");
 }
+
+/**
+ * One timed kernel result destined for the JSON perf report.
+ * `baseline_ns_per_op` / `speedup` are 0 when the benchmark has no
+ * naive reference implementation to compare against.
+ */
+struct BenchResult
+{
+    std::string name;
+    double ns_per_op = 0;   //!< best wall time per operation
+    uint64_t items = 0;     //!< records processed per operation
+    double items_per_sec = 0;
+    int iters = 0;          //!< timed repetitions (best-of)
+    double baseline_ns_per_op = 0;
+    double speedup = 0;     //!< baseline / rewritten
+};
+
+/**
+ * Collects BenchResults and writes them as `BENCH_kernels.json`-style
+ * output: a schema tag plus one object per benchmark. Deliberately
+ * dependency-free (no Google Benchmark) so it runs everywhere CI does.
+ */
+class JsonReport
+{
+  public:
+    void add(BenchResult r) { results_.push_back(std::move(r)); }
+
+    const std::vector<BenchResult> &results() const { return results_; }
+
+    /** @return true when the file was written successfully. */
+    bool
+    writeTo(const std::string &path) const
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (f == nullptr)
+            return false;
+        std::fprintf(f, "{\n");
+        std::fprintf(f, "  \"schema\": \"sbhbm-bench-v1\",\n");
+        std::fprintf(f, "  \"benchmarks\": [\n");
+        for (size_t i = 0; i < results_.size(); ++i) {
+            const BenchResult &r = results_[i];
+            std::fprintf(f, "    {\n");
+            std::fprintf(f, "      \"name\": \"%s\",\n",
+                         r.name.c_str());
+            std::fprintf(f, "      \"ns_per_op\": %.2f,\n", r.ns_per_op);
+            std::fprintf(f, "      \"items\": %llu,\n",
+                         static_cast<unsigned long long>(r.items));
+            std::fprintf(f, "      \"items_per_sec\": %.0f,\n",
+                         r.items_per_sec);
+            std::fprintf(f, "      \"iters\": %d", r.iters);
+            if (r.baseline_ns_per_op > 0) {
+                std::fprintf(f, ",\n      \"baseline_ns_per_op\": %.2f,\n",
+                             r.baseline_ns_per_op);
+                std::fprintf(f, "      \"speedup\": %.2f\n", r.speedup);
+            } else {
+                std::fprintf(f, "\n");
+            }
+            std::fprintf(f, "    }%s\n",
+                         i + 1 < results_.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        const bool ok = std::fclose(f) == 0;
+        return ok;
+    }
+
+  private:
+    std::vector<BenchResult> results_;
+};
 
 } // namespace sbhbm::bench
 

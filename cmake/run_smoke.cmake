@@ -1,5 +1,8 @@
 # Runs an example binary and checks exit status plus a key output line.
-# Usage: cmake -DEXE=<path> [-DARGS=<a;b;...>] -DPASS_REGEX=<regex> -P run_smoke.cmake
+# Usage: cmake -DEXE=<path> [-DARGS=<a;b;...>] -DPASS_REGEX=<regex>
+#              [-DFAIL_REGEX=<regex>] -P run_smoke.cmake
+# FAIL_REGEX fails the test when it matches anywhere in stdout (e.g.
+# a figure bench printing a VIOLATED shape-check line).
 if(NOT DEFINED EXE)
     message(FATAL_ERROR "run_smoke.cmake: EXE not set")
 endif()
@@ -20,4 +23,7 @@ if(NOT rc EQUAL 0)
 endif()
 if(DEFINED PASS_REGEX AND NOT out MATCHES "${PASS_REGEX}")
     message(FATAL_ERROR "smoke: output of ${EXE} does not match '${PASS_REGEX}'")
+endif()
+if(DEFINED FAIL_REGEX AND out MATCHES "${FAIL_REGEX}")
+    message(FATAL_ERROR "smoke: output of ${EXE} matches fail pattern '${FAIL_REGEX}'")
 endif()

@@ -19,6 +19,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <utility>
 
 #include "columnar/record.h"
@@ -110,34 +111,6 @@ mergeRuns(const KpEntry *a, size_t na, const KpEntry *b, size_t nb,
         out[k++] = b[j++];
 }
 
-/**
- * Full merge-sort of @p n entries in place, using @p scratch (at
- * least n entries). Bitonic block sort followed by bottom-up merging.
- */
-inline void
-sortRun(KpEntry *data, size_t n, KpEntry *scratch)
-{
-    if (n <= 1)
-        return;
-    for (size_t i = 0; i < n; i += kSortBlock)
-        sortBlock(data + i, std::min(kSortBlock, n - i));
-
-    KpEntry *src = data;
-    KpEntry *dst = scratch;
-    for (size_t width = kSortBlock; width < n; width <<= 1) {
-        for (size_t i = 0; i < n; i += 2 * width) {
-            const size_t mid = std::min(i + width, n);
-            const size_t end = std::min(i + 2 * width, n);
-            mergeRuns(src + i, mid - i, src + mid, end - mid, dst + i);
-        }
-        std::swap(src, dst);
-    }
-    if (src != data) {
-        for (size_t i = 0; i < n; ++i)
-            data[i] = src[i];
-    }
-}
-
 /** Number of merge levels sortRun performs above the block sort. */
 inline int
 mergeLevels(size_t n)
@@ -156,6 +129,48 @@ isSortedByKey(const KpEntry *e, size_t n)
         if (e[i].key < e[i - 1].key)
             return false;
     return true;
+}
+
+/**
+ * Full merge-sort of @p n entries in place, using @p scratch (at
+ * least n entries). Bitonic block sort followed by bottom-up merging.
+ *
+ * Adaptive: already-sorted input returns after one scan. Streaming
+ * pipelines extract KPAs from time-ordered bundles, so sorting on the
+ * timestamp column routinely sees fully sorted runs; random input
+ * abandons the check at its first inversion, typically within a few
+ * elements.
+ *
+ * The ping-pong parity is precomputed: with an odd number of merge
+ * levels the block sort lands in scratch (each 1 KiB block is copied
+ * while cache-hot, then sorted there), so the final merge pass always
+ * writes into @p data and no whole-array copy-back pass is needed.
+ */
+inline void
+sortRun(KpEntry *data, size_t n, KpEntry *scratch)
+{
+    if (n <= 1)
+        return;
+    if (isSortedByKey(data, n))
+        return;
+    const int levels = mergeLevels(n);
+    KpEntry *src = (levels % 2 == 0) ? data : scratch;
+    KpEntry *dst = (levels % 2 == 0) ? scratch : data;
+    for (size_t i = 0; i < n; i += kSortBlock) {
+        const size_t m = std::min(kSortBlock, n - i);
+        if (src != data)
+            std::memcpy(src + i, data + i, m * sizeof(KpEntry));
+        sortBlock(src + i, m);
+    }
+    for (size_t width = kSortBlock; width < n; width <<= 1) {
+        for (size_t i = 0; i < n; i += 2 * width) {
+            const size_t mid = std::min(i + width, n);
+            const size_t end = std::min(i + 2 * width, n);
+            mergeRuns(src + i, mid - i, src + mid, end - mid, dst + i);
+        }
+        std::swap(src, dst);
+    }
+    // `levels` swaps from the precomputed start: src == data here.
 }
 
 /**

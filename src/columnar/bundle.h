@@ -18,6 +18,7 @@
 #define SBHBM_COLUMNAR_BUNDLE_H
 
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <initializer_list>
 #include <utility>
@@ -104,8 +105,7 @@ class Bundle
     {
         sbhbm_assert(size_ < capacity_, "bundle overflow");
         uint64_t *r = data() + uint64_t{size_} * cols_;
-        for (uint32_t c = 0; c < cols_; ++c)
-            r[c] = values[c];
+        std::memcpy(r, values, uint64_t{cols_} * sizeof(uint64_t));
         ++size_;
         return r;
     }
@@ -125,6 +125,22 @@ class Bundle
         sbhbm_assert(size_ < capacity_, "bundle overflow");
         uint64_t *r = data() + uint64_t{size_} * cols_;
         ++size_;
+        return r;
+    }
+
+    /**
+     * Reserve @p n uninitialized record slots in one step and return
+     * the first row. Bulk emitters (materialize, join) fill the rows
+     * directly instead of paying an assert + size bump per record.
+     */
+    uint64_t *
+    appendBlockRaw(uint32_t n)
+    {
+        sbhbm_assert(uint64_t{size_} + n <= capacity_,
+                     "bundle overflow: %u + %u beyond %u", size_, n,
+                     capacity_);
+        uint64_t *r = data() + uint64_t{size_} * cols_;
+        size_ += n;
         return r;
     }
 

@@ -121,6 +121,30 @@ class Kpa
         size_ = n;
     }
 
+    /**
+     * Bulk-append cursor: hot loops write entries here directly and
+     * commit once, instead of paying push()'s assert + sorted-flag
+     * store per element. At most capacity() - size() entries may be
+     * written before commitAppend().
+     */
+    KpEntry *appendCursor() { return entries() + size_; }
+
+    /**
+     * Commit @p n entries written at appendCursor(). Invalidates the
+     * sorted flag exactly like n push() calls would: any nonzero
+     * append clears it, a zero-length commit leaves it untouched.
+     */
+    void
+    commitAppend(uint32_t n)
+    {
+        sbhbm_assert(uint64_t{size_} + n <= capacity_,
+                     "KPA overflow: %u + %u beyond %u", size_, n,
+                     capacity_);
+        size_ += n;
+        if (n > 0)
+            sorted_ = false;
+    }
+
     /** The column the resident keys replicate; kNoColumn if derived. */
     ColumnId residentColumn() const { return resident_col_; }
     void setResidentColumn(ColumnId c) { resident_col_ = c; }

@@ -27,9 +27,13 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
+#include <memory>
 #include <vector>
 
+#include "algo/hash_table.h"
 #include "algo/sort.h"
+#include "common/fast_divide.h"
 #include "columnar/bundle.h"
 #include "common/logging.h"
 #include "kpa/kpa.h"
@@ -99,6 +103,132 @@ rowTouchBytes(uint32_t cols)
                               uint64_t{cols} * sizeof(uint64_t));
 }
 
+namespace detail {
+
+/**
+ * Entries the batched random-dereference loops look ahead (Cimple-style
+ * software pipelining): far enough to overlap several DRAM round trips,
+ * close enough that the prefetched lines survive in L1/L2.
+ */
+constexpr uint32_t kPrefetchAhead = 16;
+
+/** Prefetch hint for a row about to be dereferenced (no-op elsewhere). */
+inline void
+prefetchRow(const uint64_t *row)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(row);
+#else
+    (void)row;
+#endif
+}
+
+/** @return true when @p cols is a nonempty run c, c+1, c+2, ... */
+inline bool
+isContiguousRun(const std::vector<ColumnId> &cols)
+{
+    for (size_t i = 1; i < cols.size(); ++i)
+        if (cols[i] != cols[i - 1] + 1)
+            return false;
+    return !cols.empty();
+}
+
+/**
+ * Two-pointer scan over two sorted KPAs, shared by both join passes
+ * so the counted match total and the emitted rows can never disagree.
+ * Calls step(i, j) every iteration (prefetch hook) and
+ * run(key, i, i_end, j, j_end) for every matching key run.
+ */
+template <typename StepFn, typename RunFn>
+inline void
+mergeScanKeyRuns(const KpEntry *le, uint32_t ln, const KpEntry *re,
+                 uint32_t rn, StepFn &&step, RunFn &&run)
+{
+    for (uint32_t i = 0, j = 0; i < ln && j < rn;) {
+        step(i, j);
+        if (le[i].key < re[j].key) {
+            ++i;
+        } else if (re[j].key < le[i].key) {
+            ++j;
+        } else {
+            const uint64_t key = le[i].key;
+            uint32_t i_end = i + 1;
+            while (i_end < ln && le[i_end].key == key)
+                ++i_end;
+            uint32_t j_end = j + 1;
+            while (j_end < rn && re[j_end].key == key)
+                ++j_end;
+            run(key, i, i_end, j, j_end);
+            i = i_end;
+            j = j_end;
+        }
+    }
+}
+
+/**
+ * Growable open-addressing map from a range id to a dense index in
+ * first-appearance order. Backs the single hash pass of
+ * partitionByRange; distinct ranges are few (windows), so this stays
+ * a handful of cache lines.
+ */
+class RangeIndex
+{
+  public:
+    RangeIndex() : slots_(64), mask_(63) {}
+
+    /** @return dense index of @p rg, assigning the next one if new. */
+    uint32_t
+    findOrAssign(uint64_t rg)
+    {
+        for (;;) {
+            size_t idx = algo::hashKey(rg) & mask_;
+            while (slots_[idx].used) {
+                if (slots_[idx].rg == rg)
+                    return slots_[idx].index;
+                idx = (idx + 1) & mask_;
+            }
+            if ((uint64_t{size_} + 1) * 8 > slots_.size() * 7) {
+                grow();
+                continue; // re-probe in the grown table
+            }
+            slots_[idx] = Slot{rg, size_, true};
+            return size_++;
+        }
+    }
+
+    uint32_t size() const { return size_; }
+
+  private:
+    struct Slot
+    {
+        uint64_t rg = 0;
+        uint32_t index = 0;
+        bool used = false;
+    };
+
+    void
+    grow()
+    {
+        std::vector<Slot> old = std::move(slots_);
+        slots_.assign(old.size() * 2, Slot{});
+        mask_ = slots_.size() - 1;
+        for (const Slot &s : old) {
+            if (!s.used)
+                continue;
+            size_t idx = algo::hashKey(s.rg) & mask_;
+            while (slots_[idx].used)
+                idx = (idx + 1) & mask_;
+            slots_[idx] = s;
+        }
+    }
+
+    std::vector<Slot> slots_;
+    size_t mask_;
+    uint32_t size_ = 0;
+};
+
+} // namespace detail
+
 // -------------------------------------------------------------------
 // Maintenance primitives
 // -------------------------------------------------------------------
@@ -112,11 +242,17 @@ extract(Ctx ctx, Bundle &src, ColumnId key_col, Placement place)
 {
     sbhbm_assert(key_col < src.cols(), "key column %u out of %u", key_col,
                  src.cols());
-    KpaPtr out = Kpa::create(ctx.hm, src.size(), ctx.place(place));
-    for (uint32_t r = 0; r < src.size(); ++r) {
-        uint64_t *row = src.row(r);
-        out->push(row[key_col], row);
-    }
+    const uint32_t n = src.size();
+    const uint32_t cols = src.cols();
+    KpaPtr out = Kpa::create(ctx.hm, n, ctx.place(place));
+    // Single streaming pass: walk the row-major data directly instead
+    // of paying row()'s bounds check and push()'s overflow branch per
+    // record.
+    KpEntry *dst = out->appendCursor();
+    uint64_t *row = src.data();
+    for (uint32_t r = 0; r < n; ++r, row += cols)
+        dst[r] = KpEntry{row[key_col], row};
+    out->commitAppend(n);
     out->setResidentColumn(key_col);
     out->setSorted(src.size() <= 1);
     out->addSource(&src);
@@ -139,8 +275,15 @@ keySwap(Ctx ctx, Kpa &k, ColumnId new_col)
     if (k.residentColumn() == new_col)
         return;
     KpEntry *e = k.entries();
-    for (uint32_t i = 0; i < k.size(); ++i)
+    const uint32_t n = k.size();
+    // Batched pointer chasing: issue the random row loads well ahead
+    // of their use so several DRAM misses are in flight at once.
+    for (uint32_t i = 0; i < n; ++i) {
+        if (i + detail::kPrefetchAhead < n)
+            detail::prefetchRow(e[i + detail::kPrefetchAhead].row
+                                + new_col);
         e[i].key = e[i].row[new_col];
+    }
     k.setResidentColumn(new_col);
     k.setSorted(k.size() <= 1);
 
@@ -160,10 +303,18 @@ materialize(Ctx ctx, const Kpa &k)
 {
     sbhbm_assert(!k.empty(), "materializing an empty KPA");
     const uint32_t cols = k.recordCols();
-    Bundle *out = Bundle::create(ctx.hm, cols, k.size());
+    const uint32_t n = k.size();
+    Bundle *out = Bundle::create(ctx.hm, cols, n);
     const KpEntry *e = k.entries();
-    for (uint32_t i = 0; i < k.size(); ++i)
-        out->append(e[i].row);
+    // Bulk-reserve the output once, then copy whole rows with the
+    // random source reads prefetched a batch ahead.
+    const uint64_t row_bytes = uint64_t{cols} * sizeof(uint64_t);
+    uint64_t *dst = out->appendBlockRaw(n);
+    for (uint32_t i = 0; i < n; ++i, dst += cols) {
+        if (i + detail::kPrefetchAhead < n)
+            detail::prefetchRow(e[i + detail::kPrefetchAhead].row);
+        std::memcpy(dst, e[i].row, row_bytes);
+    }
 
     ctx.hm.charge(ctx.log, k.tier(), AccessPattern::kSequential,
                   k.bytes());
@@ -227,10 +378,18 @@ sortKpa(Ctx ctx, Kpa &k)
         return;
     const size_t n = k.size();
     if (n > 1) {
-        // Scratch lives on the same tier while the sort runs.
-        mem::Block scratch = ctx.hm.alloc(n * sizeof(KpEntry), k.tier());
-        algo::sortRun(k.entries(), n, static_cast<KpEntry *>(scratch.ptr));
-        ctx.hm.free(scratch);
+        // Adaptive: skip the scratch allocation and the sort when the
+        // entries are already ordered (timestamp-extracted KPAs from
+        // in-order streams). The simulated machine still sorts — the
+        // charges below depend only on n, never on the host path.
+        if (!algo::isSortedByKey(k.entries(), n)) {
+            // Scratch lives on the same tier while the sort runs.
+            mem::Block scratch =
+                ctx.hm.alloc(n * sizeof(KpEntry), k.tier());
+            algo::sortRun(k.entries(), n,
+                          static_cast<KpEntry *>(scratch.ptr));
+            ctx.hm.free(scratch);
+        }
 
         const int levels = algo::mergeLevels(n);
         // One block-sort pass plus one pass per merge level, each
@@ -290,44 +449,79 @@ join(Ctx ctx, const Kpa &l, const Kpa &r,
     sbhbm_assert(l.sorted() && r.sorted(), "join requires sorted inputs");
     const uint32_t out_cols =
         1 + static_cast<uint32_t>(l_cols.size() + r_cols.size());
-
-    // Pass 1 (functional only): gather matches.
-    std::vector<std::pair<const KpEntry *, const KpEntry *>> matches;
     const KpEntry *le = l.entries();
     const KpEntry *re = r.entries();
-    uint32_t i = 0, j = 0;
-    while (i < l.size() && j < r.size()) {
-        if (le[i].key < re[j].key) {
-            ++i;
-        } else if (re[j].key < le[i].key) {
-            ++j;
-        } else {
-            const uint64_t key = le[i].key;
-            uint32_t i_end = i;
-            while (i_end < l.size() && le[i_end].key == key)
-                ++i_end;
-            uint32_t j_end = j;
-            while (j_end < r.size() && re[j_end].key == key)
-                ++j_end;
-            for (uint32_t x = i; x < i_end; ++x)
-                for (uint32_t y = j; y < j_end; ++y)
-                    matches.emplace_back(&le[x], &re[y]);
-            i = i_end;
-            j = j_end;
-        }
-    }
+    const uint32_t ln = l.size();
+    const uint32_t rn = r.size();
 
-    const auto m = static_cast<uint32_t>(matches.size());
+    // Pass 1: count matches — no intermediate match buffer.
+    uint64_t m_wide = 0;
+    detail::mergeScanKeyRuns(
+        le, ln, re, rn, [](uint32_t, uint32_t) {},
+        [&m_wide](uint64_t, uint32_t i, uint32_t i_end, uint32_t j,
+                  uint32_t j_end) {
+            m_wide += uint64_t{i_end - i} * (j_end - j);
+        });
+    sbhbm_assert(m_wide <= UINT32_MAX, "join output overflows a bundle");
+    const auto m = static_cast<uint32_t>(m_wide);
+
+    // Pass 2: stream rows straight into the exactly-sized bundle.
     Bundle *out = Bundle::create(ctx.hm, out_cols,
                                  std::max<uint32_t>(m, 1));
-    for (const auto &[a, b] : matches) {
-        uint64_t *row = out->appendRaw();
-        uint32_t c = 0;
-        row[c++] = a->key;
-        for (ColumnId lc : l_cols)
-            row[c++] = a->row[lc];
-        for (ColumnId rc : r_cols)
-            row[c++] = b->row[rc];
+    if (m > 0) {
+        const size_t nl = l_cols.size();
+        const size_t nr = r_cols.size();
+        const ColumnId *lc = l_cols.data();
+        const ColumnId *rc = r_cols.data();
+        const bool l_run = detail::isContiguousRun(l_cols);
+        const bool r_run = detail::isContiguousRun(r_cols);
+        const uint64_t prefix_bytes = (1 + nl) * sizeof(uint64_t);
+        uint64_t *dst = out->appendBlockRaw(m);
+        detail::mergeScanKeyRuns(
+            le, ln, re, rn,
+            [&](uint32_t i, uint32_t j) {
+                // The payload rows this scan will dereference are
+                // known from the sequential KPA entries: issue their
+                // random loads a batch ahead so several misses
+                // overlap.
+                if (nl != 0 && i + detail::kPrefetchAhead < ln)
+                    detail::prefetchRow(
+                        le[i + detail::kPrefetchAhead].row);
+                if (nr != 0 && j + detail::kPrefetchAhead < rn)
+                    detail::prefetchRow(
+                        re[j + detail::kPrefetchAhead].row);
+            },
+            [&](uint64_t key, uint32_t i, uint32_t i_end, uint32_t j,
+                uint32_t j_end) {
+                for (uint32_t x = i; x < i_end; ++x) {
+                    // The {key, left payload} prefix is invariant over
+                    // the right run: build it once, then replicate it
+                    // with one whole-row memcpy per emitted record.
+                    const uint64_t *lrow = le[x].row;
+                    const uint64_t *first = dst;
+                    dst[0] = key;
+                    if (l_run) {
+                        std::memcpy(dst + 1, lrow + lc[0],
+                                    nl * sizeof(uint64_t));
+                    } else {
+                        for (size_t c = 0; c < nl; ++c)
+                            dst[1 + c] = lrow[lc[c]];
+                    }
+                    for (uint32_t y = j; y < j_end; ++y) {
+                        if (dst != first)
+                            std::memcpy(dst, first, prefix_bytes);
+                        const uint64_t *rrow = re[y].row;
+                        if (r_run) {
+                            std::memcpy(dst + 1 + nl, rrow + rc[0],
+                                        nr * sizeof(uint64_t));
+                        } else {
+                            for (size_t c = 0; c < nr; ++c)
+                                dst[1 + nl + c] = rrow[rc[c]];
+                        }
+                        dst += out_cols;
+                    }
+                }
+            });
     }
 
     ctx.hm.charge(ctx.log, l.tier(), AccessPattern::kSequential,
@@ -362,12 +556,20 @@ inline KpaPtr
 selectFromBundle(Ctx ctx, Bundle &src, ColumnId key_col, Pred &&pred,
                  Placement place)
 {
-    KpaPtr out = Kpa::create(ctx.hm, src.size(), ctx.place(place));
-    for (uint32_t r = 0; r < src.size(); ++r) {
-        uint64_t *row = src.row(r);
+    // Capacity clamps to 1 on empty bundles (matching selectFromKpa)
+    // so the output KPA is always usable for later appends.
+    const uint32_t n = src.size();
+    const uint32_t cols = src.cols();
+    KpaPtr out = Kpa::create(ctx.hm, std::max<uint32_t>(n, 1),
+                             ctx.place(place));
+    KpEntry *dst = out->appendCursor();
+    uint32_t kept = 0;
+    uint64_t *row = src.data();
+    for (uint32_t r = 0; r < n; ++r, row += cols) {
         if (pred(row))
-            out->push(row[key_col], row);
+            dst[kept++] = KpEntry{row[key_col], row};
     }
+    out->commitAppend(kept);
     out->setResidentColumn(key_col);
     out->setSorted(out->size() <= 1);
     out->addSource(&src);
@@ -385,12 +587,16 @@ template <typename Pred>
 inline KpaPtr
 selectFromKpa(Ctx ctx, const Kpa &src, Pred &&pred, Placement place)
 {
-    KpaPtr out = Kpa::create(ctx.hm, std::max<uint32_t>(src.size(), 1),
+    const uint32_t n = src.size();
+    KpaPtr out = Kpa::create(ctx.hm, std::max<uint32_t>(n, 1),
                              ctx.place(place));
     const KpEntry *e = src.entries();
-    for (uint32_t i = 0; i < src.size(); ++i)
+    KpEntry *dst = out->appendCursor();
+    uint32_t kept = 0;
+    for (uint32_t i = 0; i < n; ++i)
         if (pred(e[i].key))
-            out->push(e[i].key, e[i].row);
+            dst[kept++] = e[i];
+    out->commitAppend(kept);
     out->setResidentColumn(src.residentColumn());
     out->setSorted(src.sorted());
     out->adoptSourcesFrom(src);
@@ -420,37 +626,116 @@ partitionByRange(Ctx ctx, const Kpa &src, uint64_t range_width,
                  Placement place)
 {
     sbhbm_assert(range_width > 0, "zero partition width");
-    // Count entries per range.
-    std::vector<std::pair<uint64_t, uint32_t>> counts; // (range, n)
     const KpEntry *e = src.entries();
-    for (uint32_t i = 0; i < src.size(); ++i) {
-        const uint64_t rg = e[i].key / range_width;
-        auto it = std::find_if(counts.begin(), counts.end(),
-                               [rg](const auto &p) { return p.first == rg; });
-        if (it == counts.end())
-            counts.emplace_back(rg, 1);
-        else
-            ++it->second;
-    }
-    std::sort(counts.begin(), counts.end());
-
+    const uint32_t n = src.size();
     std::vector<RangePartition> out;
-    out.reserve(counts.size());
-    for (const auto &[rg, n] : counts) {
+
+    auto makePartition = [&](uint64_t rg, uint32_t len) {
         RangePartition rp;
         rp.range = rg;
-        rp.part = Kpa::create(ctx.hm, n, ctx.place(place));
+        rp.part = Kpa::create(ctx.hm, len, ctx.place(place));
         rp.part->setResidentColumn(src.residentColumn());
         rp.part->adoptSourcesFrom(src);
         out.push_back(std::move(rp));
-    }
-    for (uint32_t i = 0; i < src.size(); ++i) {
-        const uint64_t rg = e[i].key / range_width;
-        for (auto &rp : out) {
-            if (rp.range == rg) {
-                rp.part->push(e[i].key, e[i].row);
-                break;
+        return out.back().part.get();
+    };
+
+    if (src.sorted() && n > 0) {
+        // Sorted fast path: every range is one contiguous span.
+        // Binary-search each range boundary, then bulk-copy the span.
+        uint32_t i = 0;
+        while (i < n) {
+            const uint64_t rg = e[i].key / range_width;
+            const KpEntry *end = std::upper_bound(
+                e + i, e + n, rg,
+                [range_width](uint64_t range, const KpEntry &x) {
+                    return range < x.key / range_width;
+                });
+            const auto len = static_cast<uint32_t>(end - (e + i));
+            Kpa *part = makePartition(rg, len);
+            std::memcpy(part->appendCursor(), e + i,
+                        uint64_t{len} * sizeof(KpEntry));
+            part->commitAppend(len);
+            i += len;
+        }
+    } else if (n > 0) {
+        // Unsorted. A runtime 64-bit division is a per-element hot
+        // cost, so divide by the invariant width via multiply-high
+        // (FastDivider), compute every entry's range exactly once,
+        // and memo its low 32 bits: when the span check below passes,
+        // rg - min_rg < 2^32, so uint32 wrap-around arithmetic on the
+        // low bits reproduces the exact span offset at half the memo
+        // traffic of full ranges.
+        const FastDivider by_width(range_width);
+        const auto rg_lo = std::make_unique_for_overwrite<uint32_t[]>(n);
+        uint64_t min_rg = ~uint64_t{0}, max_rg = 0;
+        for (uint32_t i = 0; i < n; ++i) {
+            const uint64_t rg = by_width.divide(e[i].key);
+            rg_lo[i] = static_cast<uint32_t>(rg);
+            min_rg = std::min(min_rg, rg);
+            max_rg = std::max(max_rg, rg);
+        }
+        // Gate on extent = span - 1 so the full-keyspace case
+        // (max - min == 2^64 - 1) cannot wrap span to 0, and require
+        // it to fit 32 bits: the memo only holds low bits, so distinct
+        // ranges 2^32 apart would alias onto one partition.
+        const uint64_t extent = max_rg - min_rg;
+        if (extent <= uint64_t{n} + 1023 && extent < UINT32_MAX) {
+            const uint64_t span = extent + 1;
+            // Windowing ranges are a dense span: count and scatter
+            // through direct-indexed cursor arrays — no hashing.
+            const auto min_lo = static_cast<uint32_t>(min_rg);
+            std::vector<uint32_t> count_by_rg(span, 0);
+            for (uint32_t i = 0; i < n; ++i)
+                ++count_by_rg[rg_lo[i] - min_lo];
+            std::vector<KpEntry *> cursor(span, nullptr);
+            for (uint64_t s = 0; s < span; ++s) {
+                if (count_by_rg[s] == 0)
+                    continue; // absent range: no partition, as before
+                Kpa *part = makePartition(
+                    min_rg + s, count_by_rg[s]); // ascending ranges
+                cursor[s] = part->appendCursor();
             }
+            for (uint32_t i = 0; i < n; ++i)
+                *cursor[rg_lo[i] - min_lo]++ = e[i];
+            for (auto &rp : out)
+                rp.part->commitAppend(count_by_rg[rp.range - min_rg]);
+        } else {
+            // Sparse ranges (rare: more distinct ranges than entries
+            // plus slack): one hash pass for per-range counts,
+            // overwriting the memo with each entry's dense id (< n,
+            // so it fits) to spare the fill pass a divide + probe...
+            detail::RangeIndex index;
+            std::vector<std::pair<uint64_t, uint32_t>> counts;
+            for (uint32_t i = 0; i < n; ++i) {
+                const uint64_t rg = by_width.divide(e[i].key);
+                const uint32_t d = index.findOrAssign(rg);
+                if (d == counts.size())
+                    counts.emplace_back(rg, 0);
+                ++counts[d].second;
+                rg_lo[i] = d;
+            }
+            // ...partitions in ascending range order, exactly sized...
+            std::vector<uint32_t> order(counts.size());
+            for (uint32_t d = 0; d < order.size(); ++d)
+                order[d] = d;
+            std::sort(order.begin(), order.end(),
+                      [&counts](uint32_t a, uint32_t b) {
+                          return counts[a].first < counts[b].first;
+                      });
+            std::vector<KpEntry *> cursor(counts.size());
+            out.reserve(counts.size());
+            for (uint32_t d : order) {
+                Kpa *part =
+                    makePartition(counts[d].first, counts[d].second);
+                cursor[d] = part->appendCursor();
+            }
+            // ...then one dense-id-memoized fill pass (stable per
+            // range).
+            for (uint32_t i = 0; i < n; ++i)
+                *cursor[rg_lo[i]]++ = e[i];
+            for (size_t k = 0; k < out.size(); ++k)
+                out[k].part->commitAppend(counts[order[k]].second);
         }
     }
     for (auto &rp : out)

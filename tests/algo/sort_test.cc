@@ -107,8 +107,23 @@ TEST_P(SortRunTest, SortsArbitrarySizes)
 
 INSTANTIATE_TEST_SUITE_P(Sizes, SortRunTest,
                          ::testing::Values(0, 1, 2, 63, 64, 65, 127, 128,
-                                           1000, 4096, 10000, 65536,
-                                           100001));
+                                           129, 1000, 4096, 8191, 10000,
+                                           65536, 100001));
+
+TEST(SortRun, ResultLandsInDataForBothMergeParities)
+{
+    // The ping-pong parity is precomputed so no final copy-back pass
+    // runs: verify `data` holds the sorted result on either side of
+    // every level-count boundary.
+    for (size_t n : {65ul, 128ul, 129ul, 256ul, 257ul, 8192ul, 8193ul}) {
+        SCOPED_TRACE(n);
+        auto v = randomEntries(n, 7000 + n);
+        auto orig = v;
+        std::vector<KpEntry> scratch(n);
+        sortRun(v.data(), n, scratch.data());
+        expectSortedPermutation(orig, v);
+    }
+}
 
 TEST(SortRun, AlreadySortedStaysSorted)
 {

@@ -1,0 +1,75 @@
+#include "common/fast_divide.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/rng.h"
+
+namespace sbhbm {
+namespace {
+
+TEST(FastDivider, SmallDivisorsExhaustiveNumerators)
+{
+    for (uint64_t d = 1; d <= 70; ++d) {
+        FastDivider fd(d);
+        for (uint64_t x = 0; x <= 4096; ++x)
+            ASSERT_EQ(fd.divide(x), x / d) << "x=" << x << " d=" << d;
+    }
+}
+
+TEST(FastDivider, EdgeNumeratorsAroundMultiples)
+{
+    const uint64_t divisors[] = {1,
+                                 2,
+                                 3,
+                                 7,
+                                 100,
+                                 300,
+                                 641,
+                                 1u << 20,
+                                 (1u << 20) + 1,
+                                 0x5DEECE66Dull,
+                                 std::numeric_limits<uint64_t>::max() / 2,
+                                 std::numeric_limits<uint64_t>::max() - 1,
+                                 std::numeric_limits<uint64_t>::max()};
+    const uint64_t max = std::numeric_limits<uint64_t>::max();
+    for (uint64_t d : divisors) {
+        FastDivider fd(d);
+        // Numerators at and around multiples of d plus the extremes.
+        for (uint64_t k : {uint64_t{0}, uint64_t{1}, uint64_t{2},
+                           max / d / 2, max / d}) {
+            const uint64_t base = k * d;
+            for (int off = -2; off <= 2; ++off) {
+                const uint64_t x = base + static_cast<uint64_t>(off);
+                ASSERT_EQ(fd.divide(x), x / d)
+                    << "x=" << x << " d=" << d;
+            }
+        }
+        ASSERT_EQ(fd.divide(max), max / d) << "d=" << d;
+        ASSERT_EQ(fd.divide(max - 1), (max - 1) / d) << "d=" << d;
+    }
+}
+
+TEST(FastDivider, RandomizedAgainstHardwareDivision)
+{
+    Rng rng(97);
+    for (int i = 0; i < 2'000'000; ++i) {
+        uint64_t d = rng.next();
+        if (d == 0)
+            d = 1;
+        // Mix magnitudes: mask to a random width so small divisors
+        // (the common window widths) are exercised as often as huge
+        // ones.
+        const unsigned width = 1 + static_cast<unsigned>(
+                                   rng.nextBounded(64));
+        d = (width >= 64) ? d : ((d & ((uint64_t{1} << width) - 1)) | 1);
+        const uint64_t x = rng.next()
+                           >> rng.nextBounded(64); // all magnitudes
+        FastDivider fd(d);
+        ASSERT_EQ(fd.divide(x), x / d) << "x=" << x << " d=" << d;
+    }
+}
+
+} // namespace
+} // namespace sbhbm

@@ -52,6 +52,29 @@ TEST_F(KpaTest, PushAndAccess)
     EXPECT_FALSE(k->sorted());
 }
 
+TEST_F(KpaTest, BulkAppendCursorMatchesPushSemantics)
+{
+    KpaPtr k = Kpa::create(hm_, 8, Placement{mem::Tier::kHbm, false});
+    uint64_t dummy[3] = {1, 2, 3};
+    KpEntry *dst = k->appendCursor();
+    dst[0] = KpEntry{4, dummy};
+    dst[1] = KpEntry{9, dummy + 1};
+    k->commitAppend(2);
+    EXPECT_EQ(k->size(), 2u);
+    EXPECT_EQ(k->at(0).key, 4u);
+    EXPECT_EQ(k->at(1).key, 9u);
+    // Any nonzero commit clears the sorted flag, like push() would...
+    EXPECT_FALSE(k->sorted());
+    k->setSorted(true);
+    // ...and a zero-length commit leaves it untouched.
+    k->commitAppend(0);
+    EXPECT_TRUE(k->sorted());
+    k->appendCursor()[0] = KpEntry{1, dummy + 2};
+    k->commitAppend(1);
+    EXPECT_FALSE(k->sorted());
+    EXPECT_EQ(k->size(), 3u);
+}
+
 TEST_F(KpaTest, SourceLinksHoldBundleReferences)
 {
     BundleHandle b = makeBundle(3, 10);

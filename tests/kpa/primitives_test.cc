@@ -189,6 +189,34 @@ TEST_F(PrimitivesTest, SelectFromBundleKeepsSurvivors)
         EXPECT_EQ(k->at(i).key % 2, 0u);
 }
 
+TEST_F(PrimitivesTest, SelectFromBundleOnEmptyBundleYieldsUsableKpa)
+{
+    // A sealed-but-empty bundle must select into an empty KPA whose
+    // capacity is clamped to 1 (harmonized with selectFromKpa).
+    BundleHandle b = BundleHandle::adopt(Bundle::create(hm_, 3, 8));
+    KpaPtr k = selectFromBundle(
+        ctx(), *b, 0, [](const uint64_t *) { return true; }, hbm_);
+    EXPECT_EQ(k->size(), 0u);
+    EXPECT_GE(k->capacity(), 1u);
+    EXPECT_TRUE(k->empty());
+    // The clamped capacity keeps the KPA usable for later appends.
+    uint64_t row[3] = {1, 2, 3};
+    k->push(7, row);
+    EXPECT_EQ(k->size(), 1u);
+}
+
+TEST_F(PrimitivesTest, SelectFromKpaOnEmptyKpaYieldsUsableKpa)
+{
+    BundleHandle b = BundleHandle::adopt(Bundle::create(hm_, 3, 8));
+    KpaPtr empty = selectFromBundle(
+        ctx(), *b, 0, [](const uint64_t *) { return false; }, hbm_);
+    ASSERT_EQ(empty->size(), 0u);
+    KpaPtr k = selectFromKpa(
+        ctx(), *empty, [](uint64_t) { return true; }, hbm_);
+    EXPECT_EQ(k->size(), 0u);
+    EXPECT_GE(k->capacity(), 1u);
+}
+
 TEST_F(PrimitivesTest, SelectFromKpaFiltersOnResidentKey)
 {
     BundleHandle b = makeKvBundle(1000, 14);
@@ -259,6 +287,141 @@ TEST_F(PrimitivesTest, JoinProducesCrossProductOnDuplicates)
     sortKpa(ctx(), *rk);
     BundleHandle out = join(ctx(), *lk, *rk, {1}, {1});
     EXPECT_EQ(out->size(), 4u); // 2 x 2 on key 7
+}
+
+TEST_F(PrimitivesTest, JoinHandlesNonContiguousPayloadColumns)
+{
+    // Payload columns out of order / with gaps exercise the
+    // per-column emit path (the memcpy fast path needs a c, c+1 run).
+    BundleHandle lb = BundleHandle::adopt(Bundle::create(hm_, 4, 4));
+    BundleHandle rb = BundleHandle::adopt(Bundle::create(hm_, 4, 4));
+    for (uint64_t i = 0; i < 4; ++i) {
+        lb->append({i, 10 + i, 20 + i, 30 + i});
+        rb->append({i, 40 + i, 50 + i, 60 + i});
+    }
+    KpaPtr lk = extract(ctx(), *lb, 0, hbm_);
+    KpaPtr rk = extract(ctx(), *rb, 0, hbm_);
+    sortKpa(ctx(), *lk);
+    sortKpa(ctx(), *rk);
+    // Left: cols {3, 1} (descending, non-contiguous); right: {1, 2}.
+    BundleHandle out = join(ctx(), *lk, *rk, {3, 1}, {1, 2});
+    ASSERT_EQ(out->size(), 4u);
+    ASSERT_EQ(out->cols(), 5u);
+    for (uint32_t i = 0; i < out->size(); ++i) {
+        const uint64_t *row = out->row(i);
+        const uint64_t key = row[0];
+        EXPECT_EQ(row[1], 30 + key); // left col 3
+        EXPECT_EQ(row[2], 10 + key); // left col 1
+        EXPECT_EQ(row[3], 40 + key); // right col 1
+        EXPECT_EQ(row[4], 50 + key); // right col 2
+    }
+}
+
+TEST_F(PrimitivesTest, PartitionSortedAndUnsortedPathsAgree)
+{
+    // The sorted boundary-scan path and the unsorted hash-count path
+    // must produce identical partitions for the same entry sequence.
+    BundleHandle b = makeKvBundle(900, 21);
+    KpaPtr unsorted = extract(ctx(), *b, 2, hbm_); // ts ascending
+    ASSERT_FALSE(unsorted->sorted());
+    auto via_hash = partitionByRange(ctx(), *unsorted, 300, hbm_);
+    unsorted->setSorted(true); // ts really is ascending
+    auto via_scan = partitionByRange(ctx(), *unsorted, 300, hbm_);
+
+    ASSERT_EQ(via_hash.size(), via_scan.size());
+    for (size_t p = 0; p < via_hash.size(); ++p) {
+        EXPECT_EQ(via_hash[p].range, via_scan[p].range);
+        ASSERT_EQ(via_hash[p].part->size(), via_scan[p].part->size());
+        for (uint32_t i = 0; i < via_hash[p].part->size(); ++i) {
+            EXPECT_EQ(via_hash[p].part->at(i).key,
+                      via_scan[p].part->at(i).key);
+            EXPECT_EQ(via_hash[p].part->at(i).row,
+                      via_scan[p].part->at(i).row);
+        }
+    }
+}
+
+TEST_F(PrimitivesTest, PartitionPreservesArrivalOrderWithinRanges)
+{
+    // The hash-count fill pass must be stable: entries of one range
+    // keep their input order (downstream sort relies on determinism).
+    BundleHandle b = BundleHandle::adopt(Bundle::create(hm_, 3, 9));
+    const uint64_t keys[9] = {25, 5, 17, 3, 28, 11, 9, 22, 1};
+    for (uint64_t k : keys)
+        b->append({k, 0, 0});
+    KpaPtr kpa = extract(ctx(), *b, 0, hbm_);
+    auto parts = partitionByRange(ctx(), *kpa, 10, hbm_);
+    ASSERT_EQ(parts.size(), 3u);
+    // Range 0: 5, 3, 9, 1; range 1: 17, 11; range 2: 25, 28, 22.
+    const std::vector<std::vector<uint64_t>> expect = {
+        {5, 3, 9, 1}, {17, 11}, {25, 28, 22}};
+    for (size_t p = 0; p < parts.size(); ++p) {
+        EXPECT_EQ(parts[p].range, p);
+        ASSERT_EQ(parts[p].part->size(), expect[p].size());
+        for (uint32_t i = 0; i < parts[p].part->size(); ++i)
+            EXPECT_EQ(parts[p].part->at(i).key, expect[p][i]);
+    }
+}
+
+TEST_F(PrimitivesTest, PartitionHandlesSparseRanges)
+{
+    // Keys spread over a span vastly larger than the entry count force
+    // the hashed fallback (the dense direct-index path would need a
+    // cursor slot per range in the span).
+    const uint32_t rows = 64;
+    BundleHandle b = BundleHandle::adopt(Bundle::create(hm_, 3, rows));
+    Rng rng(22);
+    for (uint32_t r = 0; r < rows; ++r)
+        b->append({rng.nextBounded(1u << 30), 0, 0});
+    KpaPtr k = extract(ctx(), *b, 0, hbm_);
+    auto parts = partitionByRange(ctx(), *k, 3, hbm_);
+    uint32_t total = 0;
+    uint64_t prev_range = 0;
+    for (size_t p = 0; p < parts.size(); ++p) {
+        if (p > 0) {
+            EXPECT_GT(parts[p].range, prev_range); // ascending
+        }
+        prev_range = parts[p].range;
+        for (uint32_t i = 0; i < parts[p].part->size(); ++i)
+            EXPECT_EQ(parts[p].part->at(i).key / 3, parts[p].range);
+        total += parts[p].part->size();
+    }
+    EXPECT_EQ(total, rows);
+}
+
+TEST_F(PrimitivesTest, PartitionHandlesFullKeyspaceExtremes)
+{
+    // Keys 0 and UINT64_MAX with width 1: the range extent covers the
+    // whole 64-bit space, which must not wrap the dense-path span to
+    // zero (regression: out-of-bounds scatter).
+    BundleHandle b = BundleHandle::adopt(Bundle::create(hm_, 3, 3));
+    b->append({0, 1, 2});
+    b->append({~uint64_t{0}, 3, 4});
+    b->append({5, 6, 7});
+    KpaPtr k = extract(ctx(), *b, 0, hbm_);
+    auto parts = partitionByRange(ctx(), *k, 1, hbm_);
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0].range, 0u);
+    EXPECT_EQ(parts[1].range, 5u);
+    EXPECT_EQ(parts[2].range, ~uint64_t{0});
+    for (const auto &rp : parts)
+        EXPECT_EQ(rp.part->size(), 1u);
+}
+
+TEST_F(PrimitivesTest, SortKpaChargesUnchangedOnPresortedEntries)
+{
+    // The adaptive host fast path (entries already ordered but the
+    // sorted flag unset) must charge exactly what a real sort would:
+    // simulated figures never depend on the host path taken.
+    BundleHandle b = makeKvBundle(4096, 23);
+    KpaPtr k = extract(ctx(), *b, 2, hbm_); // ts ascending, flag unset
+    ASSERT_FALSE(k->sorted());
+    CostLog sort_log;
+    sortKpa(Ctx{hm_, sort_log}, *k);
+    EXPECT_TRUE(k->sorted());
+    const uint64_t expect =
+        (1 + 6) * sim::cost::kSortBytesPerElemLevel * 4096ull;
+    EXPECT_EQ(sort_log.bytesOn(sim::Tier::kHbm), expect);
 }
 
 TEST_F(PrimitivesTest, UpdateKeysInPlaceAndWriteBack)
