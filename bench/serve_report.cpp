@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Serving-layer benchmark: tenant-count sweep on one engine.
+ *
+ * For each fleet size N the load driver builds a deterministic
+ * hot/cold tenant mix (25% hot at 4x weight, Poisson bundle
+ * arrivals, sessions arriving over a 100 ms span) and the server
+ * runs it to drain. Reported per point: aggregate throughput, the
+ * pooled p50/p99 watermark latency across every tenant's windows,
+ * Jain's fairness index over weight-normalized service, and the
+ * admission counters. Written to BENCH_serve.json (schema
+ * sbhbm-serve-v1) for the CI artifact.
+ *
+ * Usage: serve_report [--smoke] [--out <path>]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "serve/load_driver.h"
+#include "serve/server.h"
+
+using namespace sbhbm;
+using serve::Admission;
+using serve::TenantReport;
+
+namespace {
+
+/** Core slots every sweep point's engine uses. */
+constexpr unsigned kCores = 16;
+
+struct Point
+{
+    uint32_t tenants = 0;
+    double aggregate_mrps = 0;
+    double p50_s = 0;
+    double p99_s = 0;
+    double fairness = 0;
+    uint64_t windows = 0;
+    uint64_t sla_violations = 0;
+    uint64_t admitted = 0;
+    uint64_t queued = 0;
+    uint64_t rejected = 0;
+};
+
+Point
+runPoint(uint32_t tenants, bool smoke)
+{
+    serve::FleetConfig fleet;
+    fleet.tenants = tenants;
+    fleet.seed = 42;
+    fleet.hot_records = smoke ? 150'000 : 600'000;
+    fleet.cold_records = smoke ? 50'000 : 150'000;
+    fleet.bundle_records = 5'000;
+    fleet.hot_rate = 50e6;
+    fleet.cold_rate = 10e6;
+    fleet.arrival_span = 100 * kNsPerMs;
+    fleet.max_inflight_bundles = 24;
+
+    serve::ServeConfig cfg;
+    cfg.engine.machine = sim::MachineConfig::knl();
+    cfg.engine.cores = kCores;
+    cfg.engine.max_inflight_bundles = 1024;
+    cfg.window_ns = 50 * kNsPerMs;
+
+    serve::Server server(cfg);
+    server.submitFleet(serve::makeFleet(fleet));
+    server.run();
+
+    Point p;
+    p.tenants = tenants;
+    p.aggregate_mrps = server.aggregateMrps();
+    p.fairness = server.fairnessIndex();
+    SampleSet pooled;
+    for (const TenantReport &r : server.reports()) {
+        if (r.admission != Admission::kAdmitted)
+            continue;
+        ++p.admitted;
+        p.queued += r.was_queued ? 1 : 0;
+        p.windows += r.windows;
+        p.sla_violations += r.sla_violations;
+    }
+    // Pool every tenant's raw per-window latencies: fleet-level
+    // percentiles cannot be recovered from per-tenant percentiles.
+    for (const TenantReport &r : server.reports()) {
+        for (double s : r.latency_samples)
+            pooled.add(s);
+    }
+    p.p50_s = pooled.percentile(50);
+    p.p99_s = pooled.percentile(99);
+    p.rejected = server.registry().rejected();
+    return p;
+}
+
+bool
+writeJson(const std::string &path, const std::vector<Point> &points)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"schema\": \"sbhbm-serve-v1\",\n");
+    std::fprintf(f, "  \"cores\": %u,\n", kCores);
+    std::fprintf(f, "  \"points\": [\n");
+    for (size_t i = 0; i < points.size(); ++i) {
+        const Point &p = points[i];
+        std::fprintf(f, "    {\n");
+        std::fprintf(f, "      \"tenants\": %u,\n", p.tenants);
+        std::fprintf(f, "      \"aggregate_mrps\": %.3f,\n",
+                     p.aggregate_mrps);
+        std::fprintf(f, "      \"p50_s\": %.6f,\n", p.p50_s);
+        std::fprintf(f, "      \"p99_s\": %.6f,\n", p.p99_s);
+        std::fprintf(f, "      \"fairness\": %.4f,\n", p.fairness);
+        std::fprintf(f, "      \"windows\": %llu,\n",
+                     static_cast<unsigned long long>(p.windows));
+        std::fprintf(f, "      \"sla_violations\": %llu,\n",
+                     static_cast<unsigned long long>(p.sla_violations));
+        std::fprintf(f, "      \"admitted\": %llu,\n",
+                     static_cast<unsigned long long>(p.admitted));
+        std::fprintf(f, "      \"queued\": %llu,\n",
+                     static_cast<unsigned long long>(p.queued));
+        std::fprintf(f, "      \"rejected\": %llu\n",
+                     static_cast<unsigned long long>(p.rejected));
+        std::fprintf(f, "    }%s\n", i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    return std::fclose(f) == 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    std::string out = "BENCH_serve.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: serve_report [--smoke] [--out path]\n");
+            return 2;
+        }
+    }
+
+    const std::vector<uint32_t> sweep =
+        smoke ? std::vector<uint32_t>{1, 2, 4}
+              : std::vector<uint32_t>{1, 2, 4, 8, 16};
+
+    bench::Table table("Serving layer — tenant-count sweep ("
+                       + std::to_string(kCores) + " cores)");
+    table.header({"tenants", "agg Mrec/s", "p50 ms", "p99 ms",
+                  "fairness", "windows", "SLA viol"});
+
+    std::vector<Point> points;
+    for (uint32_t n : sweep) {
+        Point p = runPoint(n, smoke);
+        table.row({bench::Table::num(uint64_t{p.tenants}),
+                   bench::Table::num(p.aggregate_mrps, 2),
+                   bench::Table::num(p.p50_s * 1e3, 1),
+                   bench::Table::num(p.p99_s * 1e3, 1),
+                   bench::Table::num(p.fairness, 3),
+                   bench::Table::num(p.windows),
+                   bench::Table::num(p.sla_violations)});
+        points.push_back(p);
+    }
+    table.print();
+
+    // Shape checks: admission must have run everyone, a lone tenant
+    // cannot be unfair to itself, and fairness must hold at scale.
+    bench::shapeCheck("all sweep points admitted every tenant", [&] {
+        for (const Point &p : points)
+            if (p.admitted != p.tenants || p.rejected != 0)
+                return false;
+        return true;
+    }());
+    bench::shapeCheck("fairness index >= 0.8 at every point", [&] {
+        for (const Point &p : points)
+            if (p.fairness < 0.8)
+                return false;
+        return true;
+    }());
+
+    if (!writeJson(out, points)) {
+        std::fprintf(stderr, "serve_report: cannot write %s\n",
+                     out.c_str());
+        return 1;
+    }
+    std::printf("serve_report: wrote %s (%zu points)\n", out.c_str(),
+                points.size());
+    return 0;
+}

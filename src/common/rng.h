@@ -11,6 +11,7 @@
 #ifndef SBHBM_COMMON_RNG_H
 #define SBHBM_COMMON_RNG_H
 
+#include <cmath>
 #include <cstdint>
 
 namespace sbhbm {
@@ -66,6 +67,18 @@ class Rng
     nextBool(double p)
     {
         return nextDouble() < p;
+    }
+
+    /**
+     * @return an exponential draw with mean 1 (scale by 1/rate for a
+     * Poisson process's inter-arrival gaps). Bounded to ~36.7 by the
+     * 2^-53 granularity of nextDouble(), which is fine for arrival
+     * modelling.
+     */
+    double
+    nextExp()
+    {
+        return -std::log(1.0 - nextDouble());
     }
 
   private:

@@ -60,6 +60,16 @@ struct SourceConfig
      * this to delay window closure).
      */
     uint32_t bundles_per_watermark = 0;
+
+    /**
+     * Open-loop Poisson arrivals: bundle gaps become exponential
+     * draws around the offered-rate spacing instead of deterministic
+     * ticks, modelling bursty user traffic (the serving layer's load
+     * driver). Requires offered_rate > 0; the NIC gap still bounds
+     * each draw from below. Deterministic given arrival_seed.
+     */
+    bool poisson_arrivals = false;
+    uint64_t arrival_seed = 1;
 };
 
 /** Simulated sender + NIC + ingestion loop. */
@@ -69,10 +79,13 @@ class Source
     Source(Engine &eng, pipeline::Pipeline &pipe, Generator &gen,
            pipeline::Operator *sink, SourceConfig cfg, int sink_port = 0)
         : eng_(eng), pipe_(pipe), gen_(gen), sink_(sink), cfg_(cfg),
-          sink_port_(sink_port)
+          sink_port_(sink_port), stream_(pipe.streamId()),
+          arrival_rng_(cfg.arrival_seed)
     {
         sbhbm_assert(sink != nullptr, "source needs a sink operator");
         sbhbm_assert(cfg_.nic_bw > 0, "NIC bandwidth must be positive");
+        sbhbm_assert(!cfg_.poisson_arrivals || cfg_.offered_rate > 0,
+                     "poisson arrivals need an offered rate");
     }
 
     Source(const Source &) = delete;
@@ -159,8 +172,8 @@ class Source
         // pipeline that keeps up gets the full budget.
         const bool conservative =
             outputTooLate() || pipe_.windowsExternalized() == 0;
-        const bool over = conservative ? eng_.softBackpressured()
-                                       : eng_.backpressured();
+        const bool over = conservative ? eng_.softBackpressured(stream_)
+                                       : eng_.backpressured(stream_);
         if (over) {
             // Poll again shortly; the sender buffers meanwhile. Guard
             // against a stall that can never clear: if the engine has
@@ -200,8 +213,10 @@ class Source
         const uint64_t bytes = uint64_t{n} * gen_.cols() * sizeof(uint64_t);
         double dt_sec = static_cast<double>(bytes) / cfg_.nic_bw;
         if (cfg_.offered_rate > 0) {
-            dt_sec = std::max(dt_sec,
-                              static_cast<double>(n) / cfg_.offered_rate);
+            double gap = static_cast<double>(n) / cfg_.offered_rate;
+            if (cfg_.poisson_arrivals)
+                gap *= arrival_rng_.nextExp();
+            dt_sec = std::max(dt_sec, gap);
         }
         eng_.machine().after(secondsToSim(dt_sec),
                              [this, n] { deliver(n); });
@@ -217,7 +232,7 @@ class Source
     bool
     outputTooLate() const
     {
-        if (eng_.inflightBundles() == 0)
+        if (eng_.inflightBundles(stream_) == 0)
             return false; // nothing queued; lag cannot be our fault
         const auto &spec = pipe_.windows();
         const SimTime deadline =
@@ -243,8 +258,16 @@ class Source
         ++bundles_ingested_;
         marks_.push_back(Checkpoint{now, records_ingested_});
 
-        eng_.noteBundleIn();
-        b->setOnDestroy([this] { eng_.noteBundleOut(); });
+        eng_.noteBundleIn(stream_);
+        // The bundle can legitimately outlive this Source: operators
+        // retain window state (KPAs pinning bundles) until pipeline
+        // teardown, and sources are destroyed first. The release hook
+        // must therefore not dereference the source — capture the
+        // engine and stream by value. (The engine outlives every
+        // pipeline object by construction.)
+        b->setOnDestroy([eng = &eng_, stream = stream_] {
+            eng->noteBundleOut(stream);
+        });
 
         auto handle = columnar::BundleHandle::adopt(b);
         const EventTime min_ts = handle->row(0)[gen_.tsCol()];
@@ -267,7 +290,8 @@ class Source
                 },
                 [this, seq, handle, min_ts, end_ts]() mutable {
                     forward(seq, std::move(handle), min_ts, end_ts);
-                });
+                },
+                stream_);
         } else {
             // RDMA path: pre-allocated bundle, no copy; just the
             // bookkeeping cost.
@@ -278,7 +302,8 @@ class Source
                 },
                 [this, seq, handle, min_ts, end_ts]() mutable {
                     forward(seq, std::move(handle), min_ts, end_ts);
-                });
+                },
+                stream_);
         }
     }
 
@@ -379,6 +404,8 @@ class Source
     pipeline::Operator *sink_;
     SourceConfig cfg_;
     int sink_port_;
+    runtime::StreamId stream_;
+    Rng arrival_rng_;
 
     bool started_ = false;
     bool finished_ = false;

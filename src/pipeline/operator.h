@@ -155,7 +155,8 @@ class Operator
                     after();
                 outstanding_.erase(id);
                 flushWatermarks();
-            });
+            },
+            pipe_.streamId());
     }
 
     /** Immediately forward a message downstream (completion context). */

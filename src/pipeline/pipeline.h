@@ -31,8 +31,14 @@ class Operator;
 class Pipeline
 {
   public:
-    Pipeline(Engine &eng, columnar::WindowSpec spec)
-        : eng_(eng), spec_(spec)
+    /**
+     * @param stream the executor stream (tenant) every task of this
+     *        pipeline runs under. Single-pipeline programs keep the
+     *        default 0; the serving layer gives each tenant its own.
+     */
+    Pipeline(Engine &eng, columnar::WindowSpec spec,
+             runtime::StreamId stream = 0)
+        : eng_(eng), spec_(spec), stream_(stream)
     {
     }
 
@@ -41,6 +47,9 @@ class Pipeline
 
     Engine &engine() { return eng_; }
     const columnar::WindowSpec &windows() const { return spec_; }
+
+    /** The executor stream (tenant) this pipeline's tasks run under. */
+    runtime::StreamId streamId() const { return stream_; }
 
     /** Construct an operator owned by the pipeline. */
     template <typename Op, typename... Args>
@@ -104,6 +113,7 @@ class Pipeline
   private:
     Engine &eng_;
     columnar::WindowSpec spec_;
+    runtime::StreamId stream_;
     std::vector<std::unique_ptr<Operator>> ops_;
     columnar::WindowId next_close_ = 0;
     uint64_t windows_externalized_ = 0;

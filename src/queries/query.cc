@@ -81,20 +81,6 @@ using pipeline::EgressOp;
 using pipeline::Operator;
 using pipeline::Pipeline;
 
-/** The wired pipeline: source entry points plus the egress. */
-struct Built
-{
-    Operator *entry_a = nullptr;
-    int port_a = 0;
-    std::unique_ptr<ingest::Generator> gen_a;
-
-    Operator *entry_b = nullptr; //!< second stream, when the query has one
-    int port_b = 0;
-    std::unique_ptr<ingest::Generator> gen_b;
-
-    EgressOp *egress = nullptr;
-};
-
 /** Map an EngineKind to the engine configuration it denotes (Fig 9). */
 runtime::EngineConfig
 engineConfigFor(const QueryConfig &cfg)
@@ -145,7 +131,7 @@ engineConfigFor(const QueryConfig &cfg)
 }
 
 /** Keyed pipeline skeleton: extract -> window -> agg -> egress. */
-Built
+BuiltQuery
 buildKeyedAgg(const QueryConfig &cfg, Pipeline &pipe,
               pipeline::Aggregation agg)
 {
@@ -160,7 +146,7 @@ buildKeyedAgg(const QueryConfig &cfg, Pipeline &pipe,
     window.connectTo(&aggop);
     aggop.connectTo(&egress);
 
-    Built b;
+    BuiltQuery b;
     b.entry_a = &extract;
     b.gen_a = std::make_unique<KvGen>(cfg.seed, cfg.key_range,
                                       cfg.value_range);
@@ -169,7 +155,7 @@ buildKeyedAgg(const QueryConfig &cfg, Pipeline &pipe,
 }
 
 /** YSB (Fig 5): filter -> external join -> window -> count -> egress. */
-Built
+BuiltQuery
 buildYsb(const QueryConfig &cfg, Pipeline &pipe)
 {
     auto table = YsbGen::campaignTable();
@@ -189,7 +175,7 @@ buildYsb(const QueryConfig &cfg, Pipeline &pipe)
     window.connectTo(&count);
     count.connectTo(&egress);
 
-    Built b;
+    BuiltQuery b;
     b.entry_a = &filter;
     b.gen_a = std::make_unique<YsbGen>(cfg.seed);
     b.egress = &egress;
@@ -197,7 +183,7 @@ buildYsb(const QueryConfig &cfg, Pipeline &pipe)
 }
 
 /** YSB on the record-at-a-time hash engine (the Flink comparison). */
-Built
+BuiltQuery
 buildYsbFlinkLike(const QueryConfig &cfg, Pipeline &pipe)
 {
     baseline::RecordAtATimeAggOp::Config rc;
@@ -214,7 +200,7 @@ buildYsbFlinkLike(const QueryConfig &cfg, Pipeline &pipe)
     auto &egress = pipe.add<EgressOp>(pipe);
     agg.connectTo(&egress);
 
-    Built b;
+    BuiltQuery b;
     b.entry_a = &agg;
     b.gen_a = std::make_unique<YsbGen>(cfg.seed);
     b.egress = &egress;
@@ -222,7 +208,7 @@ buildYsbFlinkLike(const QueryConfig &cfg, Pipeline &pipe)
 }
 
 /** Keyed query on the record-at-a-time hash engine (count semantics). */
-Built
+BuiltQuery
 buildKeyedFlinkLike(const QueryConfig &cfg, Pipeline &pipe)
 {
     baseline::RecordAtATimeAggOp::Config rc;
@@ -236,7 +222,7 @@ buildKeyedFlinkLike(const QueryConfig &cfg, Pipeline &pipe)
     auto &egress = pipe.add<EgressOp>(pipe);
     agg.connectTo(&egress);
 
-    Built b;
+    BuiltQuery b;
     b.entry_a = &agg;
     b.gen_a = std::make_unique<KvGen>(cfg.seed, cfg.key_range,
                                       cfg.value_range);
@@ -245,7 +231,7 @@ buildKeyedFlinkLike(const QueryConfig &cfg, Pipeline &pipe)
 }
 
 /** Temporal Join (benchmark 7): two streams joined by key per window. */
-Built
+BuiltQuery
 buildTemporalJoin(const QueryConfig &cfg, Pipeline &pipe)
 {
     auto &ex_l = pipe.add<pipeline::ExtractOp>(pipe, "extract_l",
@@ -265,7 +251,7 @@ buildTemporalJoin(const QueryConfig &cfg, Pipeline &pipe)
     win_r.connectTo(&join, 1);
     join.connectTo(&egress);
 
-    Built b;
+    BuiltQuery b;
     b.entry_a = &ex_l;
     b.gen_a = std::make_unique<KvGen>(cfg.seed, cfg.key_range,
                                       cfg.value_range);
@@ -280,7 +266,7 @@ buildTemporalJoin(const QueryConfig &cfg, Pipeline &pipe)
  * Windowed Filter (benchmark 8): stream A's window average filters
  * stream B's records.
  */
-Built
+BuiltQuery
 buildWindowedFilter(const QueryConfig &cfg, Pipeline &pipe)
 {
     auto &filter = pipe.add<pipeline::WindowedFilterOp>(
@@ -294,7 +280,7 @@ buildWindowedFilter(const QueryConfig &cfg, Pipeline &pipe)
     win_b.connectTo(&filter, 1);
     filter.connectTo(&egress);
 
-    Built b;
+    BuiltQuery b;
     b.entry_a = &filter; // stream A: bundles straight into port 0
     b.port_a = 0;
     b.gen_a = std::make_unique<KvGen>(cfg.seed, cfg.key_range,
@@ -307,7 +293,7 @@ buildWindowedFilter(const QueryConfig &cfg, Pipeline &pipe)
 }
 
 /** Power Grid (benchmark 9): houses with most high-power plugs. */
-Built
+BuiltQuery
 buildPowerGrid(const QueryConfig &cfg, Pipeline &pipe)
 {
     auto &extract = pipe.add<pipeline::ExtractOp>(
@@ -320,7 +306,7 @@ buildPowerGrid(const QueryConfig &cfg, Pipeline &pipe)
     window.connectTo(&grid);
     grid.connectTo(&egress);
 
-    Built b;
+    BuiltQuery b;
     b.entry_a = &extract;
     b.gen_a = std::make_unique<PowerGridGen>(cfg.seed);
     b.egress = &egress;
@@ -328,7 +314,7 @@ buildPowerGrid(const QueryConfig &cfg, Pipeline &pipe)
 }
 
 /** Windowed Average (benchmark 5): unkeyed, bundles straight in. */
-Built
+BuiltQuery
 buildAvgAll(const QueryConfig &cfg, Pipeline &pipe)
 {
     auto &avg = pipe.add<pipeline::AvgAllOp>(pipe, "avg_all",
@@ -337,7 +323,7 @@ buildAvgAll(const QueryConfig &cfg, Pipeline &pipe)
     auto &egress = pipe.add<EgressOp>(pipe);
     avg.connectTo(&egress);
 
-    Built b;
+    BuiltQuery b;
     b.entry_a = &avg;
     b.gen_a = std::make_unique<KvGen>(cfg.seed, cfg.key_range,
                                       cfg.value_range);
@@ -345,8 +331,10 @@ buildAvgAll(const QueryConfig &cfg, Pipeline &pipe)
     return b;
 }
 
-Built
-buildQuery(const QueryConfig &cfg, Pipeline &pipe)
+} // namespace
+
+BuiltQuery
+buildQueryPipeline(const QueryConfig &cfg, pipeline::Pipeline &pipe)
 {
     if (cfg.engine == EngineKind::kFlinkLike) {
         // The record-at-a-time engine implements the grouping-and-
@@ -387,10 +375,8 @@ buildQuery(const QueryConfig &cfg, Pipeline &pipe)
         return buildPowerGrid(cfg, pipe);
     }
     sbhbm_fatal("unknown query id %d", static_cast<int>(cfg.id));
-    return Built{}; // unreachable
+    return BuiltQuery{}; // unreachable
 }
-
-} // namespace
 
 /** Cumulative records a source had delivered before time @p t. */
 static uint64_t
@@ -406,9 +392,8 @@ recordsDeliveredBefore(const ingest::Source &src, SimTime t)
     return n;
 }
 
-/** Input record width (bytes) of a query's stream. */
-static uint32_t
-recordBytes(QueryId id)
+uint32_t
+queryRecordBytes(QueryId id)
 {
     switch (id) {
       case QueryId::kYsb:
@@ -433,7 +418,7 @@ runQuery(const QueryConfig &cfg)
                            ? cfg.machine.nic_ethernet_bw * 0.8
                            : cfg.machine.nic_rdma_bw;
     const double win_records = simToSeconds(cfg.window_ns) * nic
-                               / recordBytes(cfg.id);
+                               / queryRecordBytes(cfg.id);
     ecfg.max_inflight_bundles = std::max(
         cfg.max_inflight_bundles,
         static_cast<uint32_t>(3.0 * win_records / cfg.bundle_records)
@@ -441,7 +426,7 @@ runQuery(const QueryConfig &cfg)
 
     runtime::Engine eng(ecfg);
     pipeline::Pipeline pipe(eng, columnar::WindowSpec{cfg.window_ns});
-    Built built = buildQuery(cfg, pipe);
+    BuiltQuery built = buildQueryPipeline(cfg, pipe);
 
     ingest::SourceConfig scfg;
     // nic_*_bw are already payload bytes/sec; ZeroMQ over Ethernet

@@ -16,11 +16,14 @@
 #define SBHBM_QUERIES_QUERY_H
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "columnar/window.h"
 #include "common/units.h"
+#include "ingest/generator.h"
+#include "pipeline/egress.h"
 #include "runtime/engine.h"
 #include "runtime/resource_monitor.h"
 
@@ -162,6 +165,36 @@ struct QueryResult
     /** The raw 10 ms resource samples (the series behind Fig 10). */
     std::vector<runtime::ResourceSample> samples;
 };
+
+/**
+ * A wired query pipeline: the operators live in the Pipeline that
+ * built them; this carries the source entry points, the generators
+ * that feed them, and the egress to read results from.
+ */
+struct BuiltQuery
+{
+    pipeline::Operator *entry_a = nullptr;
+    int port_a = 0;
+    std::unique_ptr<ingest::Generator> gen_a;
+
+    pipeline::Operator *entry_b = nullptr; //!< second stream, if any
+    int port_b = 0;
+    std::unique_ptr<ingest::Generator> gen_b;
+
+    pipeline::EgressOp *egress = nullptr;
+};
+
+/**
+ * Wire cfg.id's operator graph into @p pipe (which may target any
+ * engine and stream — the serving layer builds one per tenant on a
+ * shared engine). Only the query-shape fields of @p cfg are read:
+ * id, engine kind, seed, key/value ranges, topk_k.
+ */
+BuiltQuery buildQueryPipeline(const QueryConfig &cfg,
+                              pipeline::Pipeline &pipe);
+
+/** Input record width (bytes) of a query's stream. */
+uint32_t queryRecordBytes(QueryId id);
 
 /**
  * Build the query's pipeline on a fresh engine, ingest

@@ -17,6 +17,7 @@
 #define SBHBM_RUNTIME_ENGINE_H
 
 #include <algorithm>
+#include <map>
 #include <memory>
 
 #include "common/rng.h"
@@ -133,30 +134,76 @@ class Engine
     // ---------------------------------------------------------------
     // Back-pressure (paper §5: the engine starts/stops pulling from
     // the data source according to resource utilization).
+    //
+    // Accounting is global (the engine-wide in-flight budget) plus
+    // optionally per stream: the serving layer gives each tenant its
+    // own smaller budget so one tenant's backlog throttles only that
+    // tenant's ingestion, not the whole machine. Stream 0 with no
+    // registered budget reproduces the original single-pipeline
+    // behaviour bit for bit.
     // ---------------------------------------------------------------
 
     /** A bundle entered the pipeline. */
-    void noteBundleIn() { ++inflight_bundles_; }
+    void
+    noteBundleIn(StreamId stream = 0)
+    {
+        ++inflight_bundles_;
+        ++stream_flows_[stream].inflight;
+    }
 
     /** A bundle's window was externalized / the bundle was freed. */
     void
-    noteBundleOut()
+    noteBundleOut(StreamId stream = 0)
     {
         sbhbm_assert(inflight_bundles_ > 0, "bundle accounting underflow");
         --inflight_bundles_;
         ++bundles_released_;
+        auto it = stream_flows_.find(stream);
+        sbhbm_assert(it != stream_flows_.end() && it->second.inflight > 0,
+                     "stream %u bundle accounting underflow", stream);
+        --it->second.inflight;
+        ++it->second.released;
     }
 
     uint32_t inflightBundles() const { return inflight_bundles_; }
 
+    /** In-flight bundles of one stream (tenant). */
+    uint32_t
+    inflightBundles(StreamId stream) const
+    {
+        auto it = stream_flows_.find(stream);
+        return it == stream_flows_.end() ? 0 : it->second.inflight;
+    }
+
     /** Total bundles ever fully processed and freed. */
     uint64_t bundlesReleased() const { return bundles_released_; }
+
+    /**
+     * Cap @p stream's in-flight bundles at @p max_inflight (0 removes
+     * the cap). The engine-wide budget still applies on top.
+     */
+    void
+    setStreamBudget(StreamId stream, uint32_t max_inflight)
+    {
+        stream_flows_[stream].cap = max_inflight;
+    }
 
     /** Should the source pause pulling? */
     bool
     backpressured() const
     {
         return inflight_bundles_ >= cfg_.max_inflight_bundles;
+    }
+
+    /** Stream-aware hard back-pressure: global or per-stream cap hit. */
+    bool
+    backpressured(StreamId stream) const
+    {
+        if (backpressured())
+            return true;
+        auto it = stream_flows_.find(stream);
+        return it != stream_flows_.end() && it->second.cap > 0
+               && it->second.inflight >= it->second.cap;
     }
 
     /**
@@ -167,14 +214,39 @@ class Engine
     bool
     softBackpressured() const
     {
-        const uint32_t soft =
-            std::min(cfg_.max_inflight_bundles,
-                     std::max(cfg_.cores + 8,
-                              cfg_.max_inflight_bundles / 3));
-        return inflight_bundles_ >= soft;
+        return inflight_bundles_ >= softThreshold();
+    }
+
+    /** Stream-aware soft back-pressure. */
+    bool
+    softBackpressured(StreamId stream) const
+    {
+        if (softBackpressured())
+            return true;
+        auto it = stream_flows_.find(stream);
+        return it != stream_flows_.end() && it->second.cap > 0
+               && it->second.inflight
+                      >= std::max<uint32_t>(1, 2 * it->second.cap / 3);
+    }
+
+    /** The global soft back-pressure threshold, in bundles. */
+    uint32_t
+    softThreshold() const
+    {
+        return std::min(cfg_.max_inflight_bundles,
+                        std::max(cfg_.cores + 8,
+                                 cfg_.max_inflight_bundles / 3));
     }
 
   private:
+    /** Per-stream back-pressure state. */
+    struct StreamFlow
+    {
+        uint32_t inflight = 0;
+        uint64_t released = 0;
+        uint32_t cap = 0; //!< 0 = no per-stream cap
+    };
+
     EngineConfig cfg_;
     sim::Machine machine_;
     mem::HybridMemory hm_;
@@ -186,6 +258,7 @@ class Engine
     SimTime last_delay_ = 0;
     uint32_t inflight_bundles_ = 0;
     uint64_t bundles_released_ = 0;
+    std::map<StreamId, StreamFlow> stream_flows_;
 };
 
 } // namespace sbhbm::runtime

@@ -4,20 +4,32 @@
  *
  * Worker threads of the real StreamBox-HBM become "core slots" here:
  * at most `cores` tasks are in flight at once; queued tasks dispatch
- * in impact-tag priority order (Urgent > High > Low, FIFO within a
- * tag). A task's closure runs functionally at dispatch time and
- * records its simulated cost; the machine then charges that cost in
- * virtual time and frees the core slot when it completes.
+ * in an order chosen by a pluggable DispatchPolicy. The default policy
+ * is the paper's impact-tag priority order (Urgent > High > Low, FIFO
+ * within a tag); the serving layer swaps in a weighted fair scheduler
+ * that arbitrates between tenants. A task's closure runs functionally
+ * at dispatch time and records its simulated cost; the machine then
+ * charges that cost in virtual time and frees the core slot when it
+ * completes.
+ *
+ * Every task belongs to a stream (tenant). Single-pipeline runs use
+ * the default stream 0 throughout and behave exactly as before; the
+ * multi-tenant serving layer gives each tenant its own stream id so
+ * the dispatch policy can arbitrate between them and per-stream cost
+ * totals can be audited.
  */
 
 #ifndef SBHBM_RUNTIME_EXECUTOR_H
 #define SBHBM_RUNTIME_EXECUTOR_H
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/unique_function.h"
@@ -27,6 +39,89 @@
 
 namespace sbhbm::runtime {
 
+/** Identifies the pipeline (tenant) a task belongs to; 0 = default. */
+using StreamId = uint32_t;
+
+/**
+ * Strategy deciding which queued task dispatches onto the next free
+ * core slot. The executor presents the backlog as one entry per
+ * stream with pending work (sorted by stream id) and the policy picks
+ * a (stream, tag) pair; the executor then pops that queue's oldest
+ * task. Policies are consulted only when at least one task is queued.
+ */
+class DispatchPolicy
+{
+  public:
+    /** head_seq value of an empty per-tag queue. */
+    static constexpr uint64_t kNoTask = ~uint64_t{0};
+
+    /** One stream's pending work, as the policy sees it. */
+    struct StreamBacklog
+    {
+        // The brace-init below must name every element: a shorter
+        // list would zero-fill, and head_seq 0 means "oldest task".
+        static_assert(kNumTags == 3, "update head_seq initializer");
+
+        StreamId stream = 0;
+
+        /** Global enqueue seq of the oldest pending task per tag. */
+        std::array<uint64_t, kNumTags> head_seq{kNoTask, kNoTask, kNoTask};
+
+        /** Queue depth per tag. */
+        std::array<uint32_t, kNumTags> depth{0, 0, 0};
+
+        bool
+        hasTag(ImpactTag t) const
+        {
+            return depth[static_cast<int>(t)] > 0;
+        }
+    };
+
+    struct Choice
+    {
+        StreamId stream = 0;
+        ImpactTag tag = ImpactTag::kUrgent;
+    };
+
+    virtual ~DispatchPolicy() = default;
+
+    /**
+     * Choose the next task to dispatch. @p backlog has one entry per
+     * stream with at least one pending task, sorted by stream id, and
+     * is never empty.
+     */
+    virtual Choice pick(const std::vector<StreamBacklog> &backlog) = 0;
+};
+
+/**
+ * The paper's dispatch order (§5): strict impact-tag priority, FIFO
+ * within a tag — across streams, FIFO means global enqueue order, so
+ * a single-stream run is indistinguishable from the pre-policy
+ * executor.
+ */
+class TagPriorityPolicy final : public DispatchPolicy
+{
+  public:
+    Choice
+    pick(const std::vector<StreamBacklog> &backlog) override
+    {
+        for (int t = 0; t < kNumTags; ++t) {
+            uint64_t best = kNoTask;
+            StreamId stream = 0;
+            for (const auto &b : backlog) {
+                if (b.head_seq[t] < best) {
+                    best = b.head_seq[t];
+                    stream = b.stream;
+                }
+            }
+            if (best != kNoTask)
+                return Choice{stream, static_cast<ImpactTag>(t)};
+        }
+        sbhbm_fatal("dispatch policy consulted with empty backlog");
+        return Choice{};
+    }
+};
+
 /** Priority task executor bound to a simulated machine. */
 class Executor
 {
@@ -34,6 +129,16 @@ class Executor
     /** A task: do work on host, describe its cost in @p log. */
     using TaskFn = UniqueFunction<void(sim::CostLog &log)>;
     using DoneFn = UniqueFunction<void()>;
+
+    /** Per-stream execution totals (the tenant-level cost audit). */
+    struct StreamStats
+    {
+        uint64_t spawned = 0;
+        uint64_t completed = 0;
+        double cpu_ns = 0;       //!< total charged CPU ns
+        uint64_t hbm_bytes = 0;  //!< total charged HBM traffic
+        uint64_t dram_bytes = 0; //!< total charged DRAM traffic
+    };
 
     /**
      * @param machine timing model.
@@ -51,13 +156,27 @@ class Executor
     Executor(const Executor &) = delete;
     Executor &operator=(const Executor &) = delete;
 
+    /**
+     * Install a dispatch policy (non-owning; the caller keeps it
+     * alive for the executor's lifetime). nullptr restores the
+     * default tag-priority order.
+     */
+    void
+    setDispatchPolicy(DispatchPolicy *policy)
+    {
+        policy_ = policy;
+    }
+
     /** Enqueue a task; @p done (optional) fires on completion. */
     void
-    spawn(ImpactTag tag, TaskFn fn, DoneFn done = nullptr)
+    spawn(ImpactTag tag, TaskFn fn, DoneFn done = nullptr,
+          StreamId stream = 0)
     {
-        queues_[static_cast<int>(tag)].push_back(
-            Pending{std::move(fn), std::move(done)});
+        queues_[stream][static_cast<int>(tag)].push_back(
+            Pending{std::move(fn), std::move(done), next_seq_++});
+        ++queued_;
         ++spawned_;
+        ++stats_[stream].spawned;
         pump();
     }
 
@@ -68,7 +187,7 @@ class Executor
     void
     parallelFor(ImpactTag tag, uint32_t n,
                 std::function<void(uint32_t, sim::CostLog &)> fn,
-                DoneFn all_done)
+                DoneFn all_done, StreamId stream = 0)
     {
         auto done = std::make_shared<DoneFn>(std::move(all_done));
         if (n == 0) {
@@ -86,40 +205,57 @@ class Executor
                 [remaining, done] {
                     if (--*remaining == 0 && *done)
                         (*done)();
-                });
+                },
+                stream);
         }
     }
 
     unsigned cores() const { return cores_; }
     unsigned busyCores() const { return busy_; }
 
-    uint64_t
-    queuedTasks() const
-    {
-        return queues_[0].size() + queues_[1].size() + queues_[2].size();
-    }
+    uint64_t queuedTasks() const { return queued_; }
 
     uint64_t spawnedTasks() const { return spawned_; }
     uint64_t completedTasks() const { return completed_; }
 
+    /** Execution totals of @p stream (zeros when never seen). */
+    const StreamStats &
+    streamStats(StreamId stream) const
+    {
+        static const StreamStats kEmpty{};
+        auto it = stats_.find(stream);
+        return it == stats_.end() ? kEmpty : it->second;
+    }
+
+    /** All per-stream totals, keyed by stream id. */
+    const std::map<StreamId, StreamStats> &allStreamStats() const
+    {
+        return stats_;
+    }
+
     /** True when no task is queued or in flight. */
-    bool idle() const { return busy_ == 0 && queuedTasks() == 0; }
+    bool idle() const { return busy_ == 0 && queued_ == 0; }
 
   private:
     struct Pending
     {
         TaskFn fn;
         DoneFn done;
+        uint64_t seq = 0;
     };
+
+    using TagQueues = std::array<std::deque<Pending>, kNumTags>;
 
     /** Dispatch queued tasks onto free core slots. */
     void
     pump()
     {
-        while (busy_ < cores_) {
+        while (busy_ < cores_ && queued_ > 0) {
+            // Pending stays a local: a task body that spawns would
+            // re-enter pump(), and a shared member would be
+            // overwritten under the outer frame.
             Pending task;
-            if (!popNext(task))
-                return;
+            const StreamId stream = popNext(task);
             ++busy_;
 
             sim::CostLog cost;
@@ -132,13 +268,20 @@ class Executor
             auto keep = std::make_shared<TaskFn>(std::move(task.fn));
             (*keep)(cost);
 
+            StreamStats &ss = stats_[stream];
+            ss.cpu_ns += cost.totalCpuNs();
+            ss.hbm_bytes += cost.bytesOn(sim::Tier::kHbm);
+            ss.dram_bytes += cost.bytesOn(sim::Tier::kDram);
+
             // Machine callbacks are std::function (copyable), so the
             // move-only hooks ride in shared_ptrs.
             auto done = std::make_shared<DoneFn>(std::move(task.done));
-            machine_.execute(std::move(cost), [this, done, keep] {
+            machine_.execute(std::move(cost),
+                             [this, stream, done, keep] {
                 keep->reset();
                 --busy_;
                 ++completed_;
+                ++stats_[stream].completed;
                 if (*done)
                     (*done)();
                 pump();
@@ -146,25 +289,83 @@ class Executor
         }
     }
 
-    bool
+    /**
+     * Ask the policy which queue to serve, move that queue's oldest
+     * task into @p out, and return its stream.
+     */
+    StreamId
     popNext(Pending &out)
     {
-        for (auto &q : queues_) {
-            if (!q.empty()) {
+        // Hot path: one stream under the default policy (every
+        // single-pipeline run) needs no backlog snapshot or virtual
+        // call — tag priority over one queue set is a direct pop.
+        if (policy_ == nullptr && queues_.size() == 1) {
+            auto it = queues_.begin();
+            for (auto &q : it->second) {
+                if (q.empty())
+                    continue;
                 out = std::move(q.front());
                 q.pop_front();
-                return true;
+                --queued_;
+                const StreamId stream = it->first;
+                bool empty = true;
+                for (const auto &tq : it->second)
+                    empty = empty && tq.empty();
+                if (empty)
+                    queues_.erase(it);
+                return stream;
             }
         }
-        return false;
+
+        backlog_.clear();
+        for (const auto &[stream, tags] : queues_) {
+            DispatchPolicy::StreamBacklog b;
+            b.stream = stream;
+            bool any = false;
+            for (int t = 0; t < kNumTags; ++t) {
+                if (!tags[t].empty()) {
+                    b.head_seq[t] = tags[t].front().seq;
+                    b.depth[t] =
+                        static_cast<uint32_t>(tags[t].size());
+                    any = true;
+                }
+            }
+            if (any)
+                backlog_.push_back(b);
+        }
+        sbhbm_assert(!backlog_.empty(), "popNext with empty backlog");
+
+        const DispatchPolicy::Choice c =
+            policy_ != nullptr ? policy_->pick(backlog_)
+                               : default_policy_.pick(backlog_);
+        auto it = queues_.find(c.stream);
+        sbhbm_assert(it != queues_.end(), "policy chose unknown stream");
+        auto &q = it->second[static_cast<int>(c.tag)];
+        sbhbm_assert(!q.empty(), "policy chose an empty queue");
+        out = std::move(q.front());
+        q.pop_front();
+        --queued_;
+
+        bool empty = true;
+        for (const auto &tq : it->second)
+            empty = empty && tq.empty();
+        if (empty)
+            queues_.erase(it); // keep the backlog view small
+        return c.stream;
     }
 
     sim::Machine &machine_;
     unsigned cores_;
     unsigned busy_ = 0;
-    std::deque<Pending> queues_[kNumTags];
+    std::map<StreamId, TagQueues> queues_;
+    uint64_t queued_ = 0;
+    uint64_t next_seq_ = 0;
     uint64_t spawned_ = 0;
     uint64_t completed_ = 0;
+    std::map<StreamId, StreamStats> stats_;
+    TagPriorityPolicy default_policy_;
+    DispatchPolicy *policy_ = nullptr;
+    std::vector<DispatchPolicy::StreamBacklog> backlog_;
 };
 
 } // namespace sbhbm::runtime

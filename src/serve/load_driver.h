@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Deterministic open-loop load driver: builds the tenant fleets the
+ * serving benchmarks and examples run.
+ *
+ * Models the traffic mix of a shared deployment: a small set of hot
+ * tenants (high offered rate, high weight — the paying workloads) and
+ * a long tail of cold tenants, every session's bundle arrivals an
+ * independent Poisson process, sessions arriving at the admission
+ * controller over a configurable span with exponential gaps. Every
+ * draw comes from one seeded Rng consumed in tenant-id order, so the
+ * same config always produces the same fleet, byte for byte.
+ */
+
+#ifndef SBHBM_SERVE_LOAD_DRIVER_H
+#define SBHBM_SERVE_LOAD_DRIVER_H
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "queries/query.h"
+#include "serve/tenant.h"
+
+namespace sbhbm::serve {
+
+/** Shape of a generated tenant fleet. */
+struct FleetConfig
+{
+    uint32_t tenants = 8;
+    uint64_t seed = 42;
+
+    /** Leading fraction of the fleet that is hot (at least one when
+     *  tenants > 0 and hot_fraction > 0). */
+    double hot_fraction = 0.25;
+
+    /** Offered records/sec. */
+    double hot_rate = 2e6;
+    double cold_rate = 4e5;
+
+    /** Fair-share weights. */
+    double hot_weight = 4.0;
+    double cold_weight = 1.0;
+
+    /** Session length, records. */
+    uint64_t hot_records = 600'000;
+    uint64_t cold_records = 150'000;
+
+    uint32_t bundle_records = 10'000;
+
+    /** HBM reservation each session requests at admission. */
+    uint64_t hot_hbm_reserve = 64ull << 20;
+    uint64_t cold_hbm_reserve = 16ull << 20;
+
+    /** Per-tenant in-flight bundle budget. */
+    uint32_t max_inflight_bundles = 32;
+
+    /**
+     * Sessions arrive over roughly this span with exponential gaps
+     * (0 = everyone arrives at t = 0).
+     */
+    SimTime arrival_span = 0;
+
+    /** Queries assigned round-robin across the fleet. */
+    std::vector<queries::QueryId> query_mix = {
+        queries::QueryId::kSumPerKey,
+        queries::QueryId::kAvgPerKey,
+        queries::QueryId::kUniqueCountPerKey,
+    };
+
+    uint64_t key_range = 10'000;
+    uint64_t value_range = 1'000'000;
+};
+
+/**
+ * Build the fleet: tenant ids 1..tenants, the first
+ * ceil(hot_fraction * tenants) of them hot, Poisson bundle arrivals,
+ * exponential session-arrival gaps, per-tenant seeds drawn from the
+ * fleet seed in id order.
+ */
+inline std::vector<TenantSpec>
+makeFleet(const FleetConfig &cfg)
+{
+    sbhbm_assert(!cfg.query_mix.empty(), "fleet needs a query mix");
+    Rng rng(cfg.seed);
+    const auto hot_count = static_cast<uint32_t>(
+        std::ceil(cfg.hot_fraction * cfg.tenants));
+
+    std::vector<TenantSpec> fleet;
+    fleet.reserve(cfg.tenants);
+    SimTime arrival = 0;
+    const double mean_gap =
+        cfg.tenants > 0
+            ? static_cast<double>(cfg.arrival_span) / cfg.tenants
+            : 0.0;
+
+    for (uint32_t i = 0; i < cfg.tenants; ++i) {
+        const bool hot = i < hot_count;
+        TenantSpec t;
+        t.id = i + 1;
+        t.name = (hot ? "hot-" : "cold-") + std::to_string(t.id);
+        t.weight = hot ? cfg.hot_weight : cfg.cold_weight;
+        t.query = cfg.query_mix[i % cfg.query_mix.size()];
+        t.total_records = hot ? cfg.hot_records : cfg.cold_records;
+        t.bundle_records = cfg.bundle_records;
+        t.offered_rate = hot ? cfg.hot_rate : cfg.cold_rate;
+        t.poisson_arrivals = t.offered_rate > 0;
+        t.key_range = cfg.key_range;
+        t.value_range = cfg.value_range;
+        t.hbm_reserve_bytes =
+            hot ? cfg.hot_hbm_reserve : cfg.cold_hbm_reserve;
+        t.max_inflight_bundles = cfg.max_inflight_bundles;
+        t.seed = rng.next() | 1; // nonzero: 0 means "derive for me"
+        if (cfg.arrival_span > 0)
+            arrival += static_cast<SimTime>(mean_gap * rng.nextExp());
+        t.arrives_at = arrival;
+        fleet.push_back(std::move(t));
+    }
+    return fleet;
+}
+
+} // namespace sbhbm::serve
+
+#endif // SBHBM_SERVE_LOAD_DRIVER_H

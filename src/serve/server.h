@@ -1,0 +1,346 @@
+/**
+ * @file
+ * The multi-tenant serving layer's composition root: one engine, many
+ * sessions.
+ *
+ * A Server owns the shared runtime::Engine, the admission controller
+ * (TenantRegistry) and the FairScheduler it installs as the
+ * executor's dispatch policy. Sessions are submitted up front (a
+ * deterministic replay of an arrival schedule); run() offers each to
+ * the admission controller at its arrival time, starts admitted
+ * sessions, drains everything, and leaves one TenantReport per
+ * session: throughput, watermark-latency percentiles against the SLA,
+ * per-tenant cost totals (the determinism audit), and fair-share
+ * service counts.
+ *
+ * Everything is keyed on tenant ids, never on submission order:
+ * arrival events are scheduled in id order (ties at equal arrival
+ * times break by id), per-tenant seeds derive from the id, and the
+ * fair scheduler tie-breaks by id — so per-tenant results are
+ * bit-identical no matter the order sessions were submitted in.
+ */
+
+#ifndef SBHBM_SERVE_SERVER_H
+#define SBHBM_SERVE_SERVER_H
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/units.h"
+#include "runtime/engine.h"
+#include "serve/fair_scheduler.h"
+#include "serve/tenant.h"
+#include "serve/tenant_registry.h"
+
+namespace sbhbm::serve {
+
+/** Serving-layer configuration. */
+struct ServeConfig
+{
+    /**
+     * The shared engine. max_inflight_bundles is the machine-wide
+     * ceiling on top of the per-tenant budgets — size it to at least
+     * the sum of concurrent tenants' budgets or the global limit
+     * becomes the binding constraint.
+     */
+    runtime::EngineConfig engine;
+
+    /** Window length every session's pipeline uses. */
+    SimTime window_ns = 100 * kNsPerMs;
+
+    /**
+     * Admission limits. An hbm_budget_bytes of 0 derives the default:
+     * half the machine's HBM (DRAM when the machine has none).
+     */
+    AdmissionConfig admission{0, 64, 64};
+
+    /** Install the weighted fair scheduler (false = the legacy
+     *  tag-priority FIFO, for A/B comparison). */
+    bool fair_share = true;
+};
+
+/** What one session did, filled when it drains. */
+struct TenantReport
+{
+    TenantSpec spec;
+    Admission admission = Admission::kRejected;
+    bool was_queued = false; //!< waited before admission
+
+    SimTime arrived_at = 0;
+    SimTime started_at = 0;
+    SimTime finished_at = 0;
+
+    uint64_t records = 0;
+    uint64_t output_records = 0;
+    double throughput_mrps = 0; //!< records / active session seconds
+
+    /** Watermark latency vs the SLA target. */
+    uint64_t windows = 0;
+    uint64_t sla_violations = 0;
+    double p50_s = 0;
+    double p95_s = 0;
+    double p99_s = 0;
+    double max_latency_s = 0;
+
+    /** Raw per-window latencies (seconds) for pooled percentiles. */
+    std::vector<double> latency_samples;
+
+    /** Per-tenant cost totals (the determinism anchors). */
+    uint64_t tasks = 0;
+    double cpu_ns = 0;
+    uint64_t hbm_bytes = 0;
+    uint64_t dram_bytes = 0;
+
+    /** Task slots granted by the fair scheduler. */
+    uint64_t served_slots = 0;
+};
+
+/** One engine serving N tenants. */
+class Server
+{
+  public:
+    explicit Server(ServeConfig cfg)
+        : cfg_(fillDefaults(std::move(cfg))), eng_(cfg_.engine),
+          registry_(cfg_.admission)
+    {
+        if (cfg_.fair_share)
+            eng_.exec().setDispatchPolicy(&sched_);
+    }
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Register a session (before run()); arrival happens at
+     *  spec.arrives_at in virtual time. */
+    void
+    submit(TenantSpec spec)
+    {
+        sbhbm_assert(!ran_, "submit after run");
+        sbhbm_assert(spec.id != 0, "tenant id 0 is reserved");
+        pending_.push_back(std::move(spec));
+    }
+
+    /** Submit a whole fleet (the load driver's output). */
+    void
+    submitFleet(std::vector<TenantSpec> fleet)
+    {
+        for (auto &t : fleet)
+            submit(std::move(t));
+    }
+
+    /** Drive every session to completion; fills the reports. */
+    void
+    run()
+    {
+        sbhbm_assert(!ran_, "run() called twice");
+        ran_ = true;
+
+        // Canonical order: everything below keys on ids, so results
+        // cannot depend on the order submit() was called in.
+        std::sort(pending_.begin(), pending_.end(),
+                  [](const TenantSpec &a, const TenantSpec &b) {
+                      return a.id < b.id;
+                  });
+        for (size_t i = 1; i < pending_.size(); ++i) {
+            sbhbm_assert(pending_[i - 1].id != pending_[i].id,
+                         "duplicate tenant id %u", pending_[i].id);
+        }
+        for (const TenantSpec &spec : pending_) {
+            TenantReport rep;
+            rep.spec = spec;
+            rep.arrived_at = spec.arrives_at;
+            reports_[spec.id] = rep;
+            eng_.machine().atOrNow(
+                spec.arrives_at, [this, spec] { arrive(spec); });
+        }
+
+        eng_.monitor().start();
+        eng_.machine().run();
+
+        sbhbm_assert(tenants_.empty(), "sessions still running at drain");
+        sbhbm_assert(registry_.queued() == 0,
+                     "sessions still waiting at drain");
+
+        report_list_.clear();
+        for (auto &[id, rep] : reports_)
+            report_list_.push_back(rep);
+    }
+
+    /** Per-session reports, in tenant-id order (after run()). */
+    const std::vector<TenantReport> &reports() const
+    {
+        return report_list_;
+    }
+
+    runtime::Engine &engine() { return eng_; }
+    const ServeConfig &config() const { return cfg_; }
+    const TenantRegistry &registry() const { return registry_; }
+    const FairScheduler &scheduler() const { return sched_; }
+
+    /**
+     * Jain index over weight-normalized service (tasks completed /
+     * weight) of the sessions that ran: 1.0 = perfectly
+     * weighted-fair. Computed from the executor's per-stream totals,
+     * not the FairScheduler's counters, so the legacy tag-priority
+     * mode (fair_share = false) is measured — not vacuously fair.
+     */
+    double
+    fairnessIndex() const
+    {
+        std::vector<double> shares;
+        for (const auto &rep : report_list_) {
+            if (rep.admission == Admission::kAdmitted
+                && rep.tasks > 0) {
+                shares.push_back(static_cast<double>(rep.tasks)
+                                 / rep.spec.weight);
+            }
+        }
+        return jainIndex(shares);
+    }
+
+    /** Aggregate throughput: all records / serving makespan. */
+    double
+    aggregateMrps() const
+    {
+        uint64_t records = 0;
+        SimTime t0 = kSimTimeNever, t1 = 0;
+        for (const auto &rep : report_list_) {
+            if (rep.admission != Admission::kAdmitted)
+                continue;
+            records += rep.records;
+            t0 = std::min(t0, rep.started_at);
+            t1 = std::max(t1, rep.finished_at);
+        }
+        const double sec = t1 > t0 ? simToSeconds(t1 - t0) : 0.0;
+        return sec > 0 ? static_cast<double>(records) / sec / 1e6 : 0.0;
+    }
+
+  private:
+    static ServeConfig
+    fillDefaults(ServeConfig cfg)
+    {
+        if (cfg.admission.hbm_budget_bytes == 0) {
+            const auto &m = cfg.engine.machine;
+            const uint64_t pool = m.hasHbm() ? m.hbm.capacity_bytes
+                                             : m.dram.capacity_bytes;
+            cfg.admission.hbm_budget_bytes = std::max<uint64_t>(
+                1, pool / 2);
+        }
+        return cfg;
+    }
+
+    /** Per-tenant workload seed: explicit, or derived from the id. */
+    uint64_t
+    seedFor(const TenantSpec &spec) const
+    {
+        if (spec.seed != 0)
+            return spec.seed;
+        return cfg_.engine.seed
+               ^ (0x9e3779b97f4a7c15ULL * (uint64_t{spec.id} + 1));
+    }
+
+    void
+    arrive(const TenantSpec &spec)
+    {
+        const Admission a = registry_.offer(spec);
+        TenantReport &rep = reports_[spec.id];
+        rep.admission = a;
+        switch (a) {
+          case Admission::kAdmitted:
+            start(spec);
+            break;
+          case Admission::kQueued:
+            rep.was_queued = true;
+            break;
+          case Admission::kRejected:
+            break;
+        }
+    }
+
+    void
+    start(const TenantSpec &spec)
+    {
+        auto tenant = std::make_unique<Tenant>(eng_, spec, cfg_.window_ns,
+                                               seedFor(spec));
+        Tenant &t = *tenant;
+        tenants_[spec.id] = std::move(tenant);
+        if (cfg_.fair_share)
+            sched_.setWeight(spec.id, spec.weight);
+        t.start();
+        eng_.machine().after(kNsPerMs, [this, id = spec.id] { poll(id); });
+    }
+
+    void
+    poll(runtime::StreamId id)
+    {
+        auto it = tenants_.find(id);
+        sbhbm_assert(it != tenants_.end(), "polling unknown tenant %u",
+                     id);
+        Tenant &t = *it->second;
+        t.sla().observe(t.pipe());
+        if (!t.drained()) {
+            eng_.machine().after(kNsPerMs, [this, id] { poll(id); });
+            return;
+        }
+        finish(id, t);
+    }
+
+    void
+    finish(runtime::StreamId id, Tenant &t)
+    {
+        t.sla().observe(t.pipe());
+        TenantReport &rep = reports_[id];
+        rep.admission = Admission::kAdmitted;
+        rep.started_at = t.startedAt();
+        rep.finished_at = eng_.machine().now();
+        rep.records = t.recordsIngested();
+        rep.output_records = t.outputRecords();
+        const double sec =
+            simToSeconds(rep.finished_at - rep.started_at);
+        rep.throughput_mrps =
+            sec > 0 ? static_cast<double>(rep.records) / sec / 1e6 : 0.0;
+
+        const SlaTracker &sla = t.sla();
+        rep.windows = sla.windows();
+        rep.sla_violations = sla.violations();
+        rep.p50_s = sla.p50();
+        rep.p95_s = sla.p95();
+        rep.p99_s = sla.p99();
+        rep.max_latency_s = sla.maxLatency();
+        rep.latency_samples = sla.latencies().samples();
+
+        const auto &ss = eng_.exec().streamStats(id);
+        rep.tasks = ss.completed;
+        rep.cpu_ns = ss.cpu_ns;
+        rep.hbm_bytes = ss.hbm_bytes;
+        rep.dram_bytes = ss.dram_bytes;
+        rep.served_slots = sched_.served(id);
+
+        // Session teardown: free the pipeline, drop the per-tenant
+        // budget, then hand the reservation back — which may admit
+        // waiting sessions right now, at this virtual time.
+        tenants_.erase(id);
+        eng_.setStreamBudget(id, 0);
+        for (const TenantSpec &next : registry_.release(id))
+            start(next);
+    }
+
+    ServeConfig cfg_;
+    runtime::Engine eng_;
+    TenantRegistry registry_;
+    FairScheduler sched_;
+    std::vector<TenantSpec> pending_;
+    std::map<runtime::StreamId, std::unique_ptr<Tenant>> tenants_;
+    std::map<runtime::StreamId, TenantReport> reports_;
+    std::vector<TenantReport> report_list_;
+    bool ran_ = false;
+};
+
+} // namespace sbhbm::serve
+
+#endif // SBHBM_SERVE_SERVER_H

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Per-tenant SLA accounting: watermark latency of every externalized
+ * window (emission time minus window end — the paper's output delay,
+ * tracked per tenant instead of per engine), percentile queries, and
+ * the violation count against the tenant's delay target.
+ *
+ * The tracker pulls from the tenant's Pipeline: every externalization
+ * the pipeline recorded and the tracker has not yet seen is folded
+ * into the sample set, so observe() may be called incrementally while
+ * the session runs and once more at drain with identical results.
+ */
+
+#ifndef SBHBM_SERVE_SLA_TRACKER_H
+#define SBHBM_SERVE_SLA_TRACKER_H
+
+#include <cstdint>
+
+#include "common/stats.h"
+#include "common/units.h"
+#include "pipeline/pipeline.h"
+
+namespace sbhbm::serve {
+
+/** Watermark-latency percentiles + SLA violations for one tenant. */
+class SlaTracker
+{
+  public:
+    /** @param target_delay SLA bound on per-window output latency. */
+    explicit SlaTracker(SimTime target_delay)
+        : target_delay_(target_delay)
+    {
+    }
+
+    /**
+     * Ignore windows that ended at or before @p t: a session arriving
+     * mid-stream flushes the empty windows preceding its start with
+     * its first watermark, and those carry no user data to be late.
+     */
+    void setIgnoreBefore(SimTime t) { ignore_before_ = t; }
+
+    /** Fold in externalizations @p pipe recorded since the last call. */
+    void
+    observe(const pipeline::Pipeline &pipe)
+    {
+        const auto &exts = pipe.externalizations();
+        const columnar::WindowSpec &spec = pipe.windows();
+        for (; cursor_ < exts.size(); ++cursor_) {
+            const auto &e = exts[cursor_];
+            const SimTime end = spec.end(e.window);
+            if (end <= ignore_before_)
+                continue;
+            const SimTime lat = e.at > end ? e.at - end : 0;
+            latencies_.add(simToSeconds(lat));
+            if (lat > target_delay_)
+                ++violations_;
+        }
+    }
+
+    SimTime targetDelay() const { return target_delay_; }
+
+    /** Externalized windows observed so far. */
+    uint64_t windows() const { return latencies_.size(); }
+
+    /** Windows whose latency exceeded the target. */
+    uint64_t violations() const { return violations_; }
+
+    /** Watermark latency percentile, seconds (0 when no windows). */
+    double p50() const { return latencies_.percentile(50); }
+    double p95() const { return latencies_.percentile(95); }
+    double p99() const { return latencies_.percentile(99); }
+    double maxLatency() const { return latencies_.max(); }
+    double meanLatency() const { return latencies_.mean(); }
+
+    const SampleSet &latencies() const { return latencies_; }
+
+  private:
+    SimTime target_delay_;
+    SimTime ignore_before_ = 0;
+    SampleSet latencies_;
+    uint64_t violations_ = 0;
+    size_t cursor_ = 0;
+};
+
+} // namespace sbhbm::serve
+
+#endif // SBHBM_SERVE_SLA_TRACKER_H

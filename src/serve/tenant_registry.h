@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tenant registry + admission controller.
+ *
+ * The scarce resource admission guards is HBM capacity: every session
+ * declares an HBM reservation (working-set estimate for its windows'
+ * KPAs) and the controller admits sessions only while the aggregate
+ * reservation of running sessions fits the serving budget — a
+ * CapacityGauge over the slice of HBM the operator dedicates to
+ * serving. Sessions that do not fit wait in an arrival-ordered queue
+ * and are admitted as running sessions drain; sessions that can never
+ * fit (reservation larger than the whole budget) or that arrive to a
+ * full queue are rejected outright.
+ *
+ * The registry tracks identity and accounting only; instantiating a
+ * session's pipeline is the Server's job (via the admission results
+ * offer() and release() return).
+ */
+
+#ifndef SBHBM_SERVE_TENANT_REGISTRY_H
+#define SBHBM_SERVE_TENANT_REGISTRY_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/logging.h"
+#include "mem/capacity_gauge.h"
+#include "serve/tenant.h"
+
+namespace sbhbm::serve {
+
+/** Admission controller limits. */
+struct AdmissionConfig
+{
+    /** Aggregate HBM reservation cap across running sessions. */
+    uint64_t hbm_budget_bytes = 1ull << 30;
+
+    /** Concurrent running sessions. */
+    uint32_t max_active = 64;
+
+    /** Waiting sessions beyond which new arrivals are rejected. */
+    uint32_t max_queued = 64;
+};
+
+/** Outcome of offering a session to the admission controller. */
+enum class Admission {
+    kAdmitted, //!< runs now
+    kQueued,   //!< waits for running sessions to drain
+    kRejected, //!< cannot ever fit, or the wait queue is full
+};
+
+constexpr const char *
+admissionName(Admission a)
+{
+    switch (a) {
+      case Admission::kAdmitted: return "admitted";
+      case Admission::kQueued: return "queued";
+      case Admission::kRejected: return "rejected";
+    }
+    return "?";
+}
+
+/** Session bookkeeping + HBM admission accounting. */
+class TenantRegistry
+{
+  public:
+    explicit TenantRegistry(AdmissionConfig cfg)
+        : cfg_(cfg), gauge_(cfg.hbm_budget_bytes, 0)
+    {
+        sbhbm_assert(cfg.hbm_budget_bytes > 0,
+                     "admission needs a positive HBM budget");
+    }
+
+    TenantRegistry(const TenantRegistry &) = delete;
+    TenantRegistry &operator=(const TenantRegistry &) = delete;
+
+    /**
+     * Offer a session for admission. Admitted sessions charge their
+     * reservation immediately; queued ones wait in arrival order.
+     */
+    Admission
+    offer(const TenantSpec &spec)
+    {
+        sbhbm_assert(spec.id != 0, "tenant id 0 is reserved");
+        sbhbm_assert(reserved_.find(spec.id) == reserved_.end()
+                         && !isQueued(spec.id),
+                     "tenant id %u offered twice", spec.id);
+        if (spec.hbm_reserve_bytes > cfg_.hbm_budget_bytes) {
+            ++rejected_;
+            return Admission::kRejected; // can never fit
+        }
+        // Arrivals behind a waiting session must wait too, even when
+        // they would fit right now — the alternative starves big
+        // waiters behind a stream of small arrivals.
+        if (waiting_.empty() && tryAdmit(spec))
+            return Admission::kAdmitted;
+        if (waiting_.size() >= cfg_.max_queued) {
+            ++rejected_;
+            return Admission::kRejected;
+        }
+        waiting_.push_back(spec);
+        return Admission::kQueued;
+    }
+
+    /**
+     * Session @p id drained: release its reservation and admit as
+     * many waiting sessions (in arrival order, head-of-line blocking
+     * preserved — admitting around a big waiter would starve it) as
+     * now fit. @return the specs admitted by this release.
+     */
+    std::vector<TenantSpec>
+    release(runtime::StreamId id)
+    {
+        auto it = reserved_.find(id);
+        sbhbm_assert(it != reserved_.end(),
+                     "releasing unknown tenant %u", id);
+        gauge_.release(it->second);
+        reserved_.erase(it);
+        sbhbm_assert(active_ > 0, "active session underflow");
+        --active_;
+
+        std::vector<TenantSpec> admitted;
+        while (!waiting_.empty() && tryAdmit(waiting_.front())) {
+            admitted.push_back(waiting_.front());
+            waiting_.pop_front();
+        }
+        return admitted;
+    }
+
+    uint32_t active() const { return active_; }
+    size_t queued() const { return waiting_.size(); }
+    uint64_t rejected() const { return rejected_; }
+    uint64_t everAdmitted() const { return ever_admitted_; }
+
+    /** The admission gauge (reserved bytes vs budget). */
+    const mem::CapacityGauge &gauge() const { return gauge_; }
+
+  private:
+    bool
+    tryAdmit(const TenantSpec &spec)
+    {
+        if (active_ >= cfg_.max_active)
+            return false;
+        if (!gauge_.tryReserve(spec.hbm_reserve_bytes, /*urgent=*/false))
+            return false;
+        reserved_[spec.id] = spec.hbm_reserve_bytes;
+        ++active_;
+        ++ever_admitted_;
+        return true;
+    }
+
+    bool
+    isQueued(runtime::StreamId id) const
+    {
+        for (const auto &w : waiting_)
+            if (w.id == id)
+                return true;
+        return false;
+    }
+
+    AdmissionConfig cfg_;
+    mem::CapacityGauge gauge_;
+    std::map<runtime::StreamId, uint64_t> reserved_;
+    std::deque<TenantSpec> waiting_;
+    uint32_t active_ = 0;
+    uint64_t rejected_ = 0;
+    uint64_t ever_admitted_ = 0;
+};
+
+} // namespace sbhbm::serve
+
+#endif // SBHBM_SERVE_TENANT_REGISTRY_H

@@ -1,5 +1,6 @@
 #include "sim/machine.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace sbhbm::sim {
@@ -31,6 +32,12 @@ void
 Machine::after(SimTime delay, Callback cb, bool daemon)
 {
     events_.schedule(now() + delay, std::move(cb), daemon);
+}
+
+void
+Machine::atOrNow(SimTime when, Callback cb, bool daemon)
+{
+    events_.schedule(std::max(when, now()), std::move(cb), daemon);
 }
 
 double

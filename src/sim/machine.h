@@ -49,6 +49,13 @@ class Machine
     void after(SimTime delay, Callback cb, bool daemon = false);
 
     /**
+     * Schedule a callback at absolute virtual time @p when, clamped
+     * to now when @p when already passed (session arrivals replayed
+     * from a fixed schedule, e.g. the serving layer's load driver).
+     */
+    void atOrNow(SimTime when, Callback cb, bool daemon = false);
+
+    /**
      * Execute @p cost in virtual time; invokes @p on_done when the
      * final phase finishes. The caller is responsible for modelling
      * core occupancy (one in-flight execute() per simulated core).

@@ -176,5 +176,103 @@ TEST(ExecutorDeath, MoreCoresThanMachinePanics)
     EXPECT_DEATH(Executor(m, 5), "core count");
 }
 
+TEST(Executor, StreamStatsAccumulatePerStream)
+{
+    sim::Machine m(testConfig(4));
+    Executor ex(m, 4);
+    ex.spawn(
+        ImpactTag::kHigh,
+        [](sim::CostLog &log) {
+            log.cpu(1000);
+            log.seq(sim::Tier::kHbm, 64);
+        },
+        nullptr, /*stream=*/1);
+    ex.spawn(
+        ImpactTag::kLow,
+        [](sim::CostLog &log) {
+            log.cpu(500);
+            log.seq(sim::Tier::kDram, 128);
+        },
+        nullptr, /*stream=*/2);
+    ex.spawn(
+        ImpactTag::kLow, [](sim::CostLog &log) { log.cpu(500); },
+        nullptr, /*stream=*/2);
+    m.run();
+
+    const auto &s1 = ex.streamStats(1);
+    const auto &s2 = ex.streamStats(2);
+    EXPECT_EQ(s1.spawned, 1u);
+    EXPECT_EQ(s1.completed, 1u);
+    EXPECT_EQ(s1.hbm_bytes, 64u);
+    EXPECT_EQ(s1.dram_bytes, 0u);
+    EXPECT_EQ(s2.spawned, 2u);
+    EXPECT_EQ(s2.completed, 2u);
+    EXPECT_EQ(s2.dram_bytes, 128u);
+    // Costs include the dispatch overhead on top of the task body.
+    EXPECT_DOUBLE_EQ(s1.cpu_ns, 1000.0 + sim::cost::kTaskDispatchNs);
+    EXPECT_DOUBLE_EQ(s2.cpu_ns, 1000.0 + 2 * sim::cost::kTaskDispatchNs);
+    EXPECT_EQ(ex.streamStats(3).spawned, 0u) << "unknown stream zeroed";
+}
+
+TEST(Executor, DefaultPolicyIsTagPriorityFifoAcrossStreams)
+{
+    sim::Machine m(testConfig(4));
+    Executor ex(m, 1); // one core: dispatch order fully observable
+    std::vector<int> order;
+    auto task = [&](int id) {
+        return [&order, id](sim::CostLog &log) {
+            order.push_back(id);
+            log.cpu(100);
+        };
+    };
+    // Hold the core with a running task so the rest queue up.
+    ex.spawn(ImpactTag::kLow, task(0));
+    ex.spawn(ImpactTag::kLow, task(1), nullptr, 2);
+    ex.spawn(ImpactTag::kHigh, task(2), nullptr, 3);
+    ex.spawn(ImpactTag::kHigh, task(3), nullptr, 1);
+    ex.spawn(ImpactTag::kUrgent, task(4), nullptr, 2);
+    m.run();
+    // Urgent first, then the Highs in enqueue order (stream ids must
+    // not matter), then the Low.
+    EXPECT_EQ(order, (std::vector<int>{0, 4, 2, 3, 1}));
+}
+
+TEST(Executor, CustomDispatchPolicyIsConsulted)
+{
+    /** Serves the largest stream id first, Lows before Highs. */
+    struct ReversePolicy final : DispatchPolicy
+    {
+        Choice
+        pick(const std::vector<StreamBacklog> &backlog) override
+        {
+            const StreamBacklog &b = backlog.back();
+            for (int t = kNumTags - 1; t >= 0; --t) {
+                if (b.depth[t] > 0)
+                    return Choice{b.stream, static_cast<ImpactTag>(t)};
+            }
+            return Choice{b.stream, ImpactTag::kUrgent};
+        }
+    };
+
+    sim::Machine m(testConfig(4));
+    Executor ex(m, 1);
+    ReversePolicy policy;
+    ex.setDispatchPolicy(&policy);
+    std::vector<int> order;
+    auto task = [&](int id) {
+        return [&order, id](sim::CostLog &log) {
+            order.push_back(id);
+            log.cpu(100);
+        };
+    };
+    ex.spawn(ImpactTag::kUrgent, task(0)); // runs immediately
+    ex.spawn(ImpactTag::kUrgent, task(1), nullptr, 1);
+    ex.spawn(ImpactTag::kLow, task(2), nullptr, 1);
+    ex.spawn(ImpactTag::kHigh, task(3), nullptr, 2);
+    m.run();
+    // Stream 2 outranks stream 1; within stream 1, Low before Urgent.
+    EXPECT_EQ(order, (std::vector<int>{0, 3, 2, 1}));
+}
+
 } // namespace
 } // namespace sbhbm::runtime

@@ -1,0 +1,229 @@
+#include "runtime/resource_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/units.h"
+#include "mem/hybrid_memory.h"
+#include "runtime/balance_knob.h"
+#include "runtime/engine.h"
+#include "sim/machine.h"
+
+namespace sbhbm::runtime {
+namespace {
+
+sim::MachineConfig
+machineConfig()
+{
+    auto cfg = sim::MachineConfig::knl();
+    cfg.cores = 4;
+    return cfg;
+}
+
+struct MonitorRig
+{
+    sim::Machine machine{machineConfig()};
+    mem::HybridMemory hm{machineConfig(), sim::MemoryMode::kFlat};
+    BalanceKnob knob;
+    bool headroom_ok = true;
+    ResourceMonitor monitor{machine, hm, knob,
+                            [this] { return headroom_ok; },
+                            10 * kNsPerMs};
+};
+
+TEST(ResourceMonitor, SamplesAtTheConfiguredPeriod)
+{
+    MonitorRig rig;
+    rig.monitor.start();
+    rig.machine.events().runUntil(105 * kNsPerMs);
+    // Ticks at 10, 20, ..., 100 ms.
+    ASSERT_EQ(rig.monitor.samples().size(), 10u);
+    for (size_t i = 0; i < rig.monitor.samples().size(); ++i) {
+        EXPECT_EQ(rig.monitor.samples()[i].t,
+                  SimTime{(i + 1) * 10 * kNsPerMs});
+    }
+}
+
+TEST(ResourceMonitor, StartIsIdempotentAndStopStopsSampling)
+{
+    MonitorRig rig;
+    rig.monitor.start();
+    rig.monitor.start(); // must not double-arm the tick
+    rig.machine.events().runUntil(35 * kNsPerMs);
+    EXPECT_EQ(rig.monitor.samples().size(), 3u);
+
+    rig.monitor.stop();
+    rig.machine.events().runUntil(200 * kNsPerMs);
+    EXPECT_EQ(rig.monitor.samples().size(), 3u);
+    EXPECT_FALSE(rig.monitor.running());
+}
+
+TEST(ResourceMonitor, BandwidthComputedFromCumulativeTierBytes)
+{
+    MonitorRig rig;
+    rig.monitor.start();
+
+    // One 80 MB DRAM stream (a single flow, so it drains at the
+    // per-flow cap, spilling across sample intervals).
+    const double bytes = 80 * 1000 * 1000;
+    sim::CostLog cost;
+    cost.seq(sim::Tier::kDram, static_cast<uint64_t>(bytes));
+    bool done = false;
+    rig.machine.execute(std::move(cost), [&] { done = true; });
+    rig.machine.events().runUntil(55 * kNsPerMs);
+    ASSERT_TRUE(done);
+
+    ASSERT_GE(rig.monitor.samples().size(), 5u);
+    const auto &samples = rig.monitor.samples();
+    // The first interval runs flat out at the per-flow link cap...
+    EXPECT_NEAR(samples[0].dram_bw,
+                rig.machine.flowCap(sim::Tier::kDram,
+                                    sim::AccessPattern::kSequential),
+                1e6);
+    EXPECT_DOUBLE_EQ(samples[0].hbm_bw, 0.0);
+    // ...and the per-interval averages integrate back to the total.
+    double integrated = 0;
+    for (const auto &s : samples)
+        integrated += s.dram_bw * simToSeconds(10 * kNsPerMs);
+    EXPECT_NEAR(integrated, bytes, 1.0);
+    // The tail intervals (transfer long done) saw no traffic.
+    EXPECT_DOUBLE_EQ(samples.back().dram_bw, 0.0);
+    EXPECT_DOUBLE_EQ(rig.monitor.dramBwStat().max(), samples[0].dram_bw);
+}
+
+TEST(ResourceMonitor, TracksHbmCapacityAndDrivesKnob)
+{
+    MonitorRig rig;
+    // Fill HBM past the knob's hbm_high threshold (80%).
+    const uint64_t cap = machineConfig().hbm.capacity_bytes;
+    auto block = rig.hm.alloc(static_cast<uint64_t>(0.9 * cap),
+                              mem::Tier::kHbm);
+    rig.monitor.start();
+    rig.machine.events().runUntil(15 * kNsPerMs);
+
+    ASSERT_EQ(rig.monitor.samples().size(), 1u);
+    const auto &s = rig.monitor.samples()[0];
+    EXPECT_GE(s.hbm_used_bytes, static_cast<uint64_t>(0.9 * cap));
+    // One refresh above hbm_high moves k_low down by one delta step.
+    EXPECT_NEAR(s.k_low, 0.95, 1e-9);
+    EXPECT_DOUBLE_EQ(s.k_high, 1.0);
+    rig.hm.free(block);
+}
+
+// -------------------------------------------------------------------
+// Engine back-pressure hysteresis edges.
+// -------------------------------------------------------------------
+
+EngineConfig
+engineConfig(uint32_t max_inflight, unsigned cores = 2)
+{
+    EngineConfig cfg;
+    cfg.cores = cores;
+    cfg.max_inflight_bundles = max_inflight;
+    return cfg;
+}
+
+TEST(EngineBackpressure, HardThresholdCrossedExactlyAtTheLimit)
+{
+    Engine e(engineConfig(4));
+    for (int i = 0; i < 3; ++i)
+        e.noteBundleIn();
+    EXPECT_FALSE(e.backpressured()) << "below the limit";
+    e.noteBundleIn(); // 4 == max_inflight_bundles
+    EXPECT_TRUE(e.backpressured()) << "at the limit";
+}
+
+TEST(EngineBackpressure, SoftEngagesStrictlyBeforeHard)
+{
+    // cores=2 -> soft threshold = min(30, max(10, 10)) = 10.
+    Engine e(engineConfig(30));
+    EXPECT_EQ(e.softThreshold(), 10u);
+    for (int i = 0; i < 9; ++i)
+        e.noteBundleIn();
+    EXPECT_FALSE(e.softBackpressured());
+    e.noteBundleIn(); // 10: soft engages, hard does not
+    EXPECT_TRUE(e.softBackpressured());
+    EXPECT_FALSE(e.backpressured());
+    for (int i = 0; i < 20; ++i)
+        e.noteBundleIn(); // 30: hard engages
+    EXPECT_TRUE(e.backpressured());
+    EXPECT_TRUE(e.softBackpressured()) << "hard implies soft";
+}
+
+TEST(EngineBackpressure, SoftCapsAtTheHardLimit)
+{
+    // A tiny budget: soft = min(4, max(10, 1)) = 4 == hard, so the
+    // two thresholds coincide instead of soft landing above hard.
+    Engine e(engineConfig(4));
+    EXPECT_EQ(e.softThreshold(), 4u);
+    for (int i = 0; i < 4; ++i)
+        e.noteBundleIn();
+    EXPECT_TRUE(e.softBackpressured());
+    EXPECT_TRUE(e.backpressured());
+}
+
+TEST(EngineBackpressure, RecoversAfterDrain)
+{
+    Engine e(engineConfig(4));
+    for (int i = 0; i < 4; ++i)
+        e.noteBundleIn();
+    EXPECT_TRUE(e.backpressured());
+    e.noteBundleOut(); // 3: hard releases immediately below the limit
+    EXPECT_FALSE(e.backpressured());
+    while (e.inflightBundles() > 0)
+        e.noteBundleOut();
+    EXPECT_FALSE(e.softBackpressured());
+    EXPECT_EQ(e.bundlesReleased(), 4u);
+}
+
+TEST(EngineBackpressure, PerStreamBudgetThrottlesOnlyThatStream)
+{
+    Engine e(engineConfig(100));
+    e.setStreamBudget(7, 3);
+    for (int i = 0; i < 3; ++i)
+        e.noteBundleIn(7);
+    EXPECT_TRUE(e.backpressured(7)) << "stream cap crossed exactly";
+    EXPECT_FALSE(e.backpressured(8)) << "other streams unaffected";
+    EXPECT_FALSE(e.backpressured()) << "global budget far away";
+    EXPECT_EQ(e.inflightBundles(7), 3u);
+    EXPECT_EQ(e.inflightBundles(8), 0u);
+    EXPECT_EQ(e.inflightBundles(), 3u) << "global count includes all";
+
+    e.noteBundleOut(7);
+    EXPECT_FALSE(e.backpressured(7)) << "recovers below the cap";
+}
+
+TEST(EngineBackpressure, PerStreamSoftAtTwoThirdsOfCap)
+{
+    Engine e(engineConfig(100));
+    e.setStreamBudget(7, 9); // soft at 6
+    for (int i = 0; i < 5; ++i)
+        e.noteBundleIn(7);
+    EXPECT_FALSE(e.softBackpressured(7));
+    e.noteBundleIn(7); // 6 = 2*9/3
+    EXPECT_TRUE(e.softBackpressured(7));
+    EXPECT_FALSE(e.backpressured(7)) << "soft strictly before hard";
+}
+
+TEST(EngineBackpressure, GlobalPressureBackpressuresEveryStream)
+{
+    Engine e(engineConfig(4));
+    for (int i = 0; i < 4; ++i)
+        e.noteBundleIn(1);
+    EXPECT_TRUE(e.backpressured(2))
+        << "the machine-wide budget binds streams with room of "
+           "their own";
+}
+
+TEST(EngineBackpressure, StreamZeroWithoutBudgetMatchesGlobal)
+{
+    Engine e(engineConfig(4));
+    for (int i = 0; i < 4; ++i)
+        e.noteBundleIn();
+    EXPECT_EQ(e.backpressured(0), e.backpressured());
+    EXPECT_EQ(e.softBackpressured(0), e.softBackpressured());
+}
+
+} // namespace
+} // namespace sbhbm::runtime
