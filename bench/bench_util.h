@@ -10,7 +10,9 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace sbhbm::bench {
@@ -115,11 +117,42 @@ struct BenchResult
     int iters = 0;          //!< timed repetitions (best-of)
     double baseline_ns_per_op = 0;
     double speedup = 0;     //!< baseline / rewritten
+    int threads = 1;        //!< host worker threads the kernel used
 };
 
 /**
+ * Git revision for report provenance: $SBHBM_GIT_REV when set (CI
+ * exports it), else `git rev-parse` of the working directory, else
+ * "unknown" (e.g. running an installed binary outside the repo).
+ */
+inline std::string
+detectGitRev()
+{
+    if (const char *env = std::getenv("SBHBM_GIT_REV"))
+        return env;
+#if defined(__unix__) || defined(__APPLE__)
+    if (std::FILE *p = ::popen("git rev-parse --short HEAD 2>/dev/null",
+                               "r")) {
+        char buf[64] = {0};
+        const size_t got = std::fread(buf, 1, sizeof(buf) - 1, p);
+        ::pclose(p);
+        std::string rev(buf, got);
+        while (!rev.empty()
+               && (rev.back() == '\n' || rev.back() == '\r'))
+            rev.pop_back();
+        if (!rev.empty())
+            return rev;
+    }
+#endif
+    return "unknown";
+}
+
+/**
  * Collects BenchResults and writes them as `BENCH_kernels.json`-style
- * output: a schema tag plus one object per benchmark. Deliberately
+ * output. Schema v2: a schema tag, the host environment (host_cores,
+ * git_rev — thread-scaling numbers are meaningless without the core
+ * count they ran on), and one object per benchmark including the
+ * host worker-thread count the kernel used. Deliberately
  * dependency-free (no Google Benchmark) so it runs everywhere CI does.
  */
 class JsonReport
@@ -129,6 +162,8 @@ class JsonReport
 
     const std::vector<BenchResult> &results() const { return results_; }
 
+    void setGitRev(std::string rev) { git_rev_ = std::move(rev); }
+
     /** @return true when the file was written successfully. */
     bool
     writeTo(const std::string &path) const
@@ -136,8 +171,13 @@ class JsonReport
         std::FILE *f = std::fopen(path.c_str(), "w");
         if (f == nullptr)
             return false;
+        const unsigned hw = std::thread::hardware_concurrency();
         std::fprintf(f, "{\n");
-        std::fprintf(f, "  \"schema\": \"sbhbm-bench-v1\",\n");
+        std::fprintf(f, "  \"schema\": \"sbhbm-bench-v2\",\n");
+        std::fprintf(f, "  \"host_cores\": %u,\n", hw >= 1 ? hw : 1);
+        std::fprintf(f, "  \"git_rev\": \"%s\",\n",
+                     (git_rev_.empty() ? detectGitRev() : git_rev_)
+                         .c_str());
         std::fprintf(f, "  \"benchmarks\": [\n");
         for (size_t i = 0; i < results_.size(); ++i) {
             const BenchResult &r = results_[i];
@@ -149,6 +189,7 @@ class JsonReport
                          static_cast<unsigned long long>(r.items));
             std::fprintf(f, "      \"items_per_sec\": %.0f,\n",
                          r.items_per_sec);
+            std::fprintf(f, "      \"threads\": %d,\n", r.threads);
             std::fprintf(f, "      \"iters\": %d", r.iters);
             if (r.baseline_ns_per_op > 0) {
                 std::fprintf(f, ",\n      \"baseline_ns_per_op\": %.2f,\n",
@@ -167,6 +208,7 @@ class JsonReport
 
   private:
     std::vector<BenchResult> results_;
+    std::string git_rev_;
 };
 
 } // namespace sbhbm::bench

@@ -13,21 +13,27 @@
  * Self-contained on purpose (std::chrono, no Google Benchmark) so it
  * builds and runs wherever the test suite does, including CI.
  *
- * Usage: perf_report [--smoke] [--out <path>]
- *   --smoke  small inputs / few reps (CI per-PR signal)
- *   --out    JSON output path (default BENCH_kernels.json)
+ * Usage: perf_report [--smoke] [--out <path>] [--threads <n>]
+ *   --smoke    small inputs / few reps (CI per-PR signal)
+ *   --out      JSON output path (default BENCH_kernels.json)
+ *   --threads  host worker threads for the parallel-kernel entries
+ *              (default: sweep 1, 4 and the hardware concurrency)
  */
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "algo/hash_table.h"
 #include "algo/sort.h"
 #include "bench_util.h"
 #include "common/rng.h"
+#include "common/worker_pool.h"
 #include "kpa/primitives.h"
 #include "perf_naive.h"
 #include "sim/machine_config.h"
@@ -173,6 +179,22 @@ result(std::string name, const TimedPair &t, uint64_t items, int reps)
     return r;
 }
 
+/**
+ * The wide-dup probe stream shared by the hash microbenches: every
+ * key 2k+1, k < distinct, probed exactly twice, order shuffled.
+ */
+std::vector<uint64_t>
+makeWideDupProbes(uint32_t n, uint64_t seed)
+{
+    std::vector<uint64_t> probes(n);
+    for (uint32_t i = 0; i < n; ++i)
+        probes[i] = uint64_t{i / 2} * 2 + 1;
+    Rng rng(seed);
+    for (uint32_t i = n - 1; i > 0; --i)
+        std::swap(probes[i], probes[rng.nextBounded(i + 1)]);
+    return probes;
+}
+
 } // namespace
 
 int
@@ -180,14 +202,18 @@ main(int argc, char **argv)
 {
     bool smoke = false;
     std::string out_path = "BENCH_kernels.json";
+    unsigned threads_flag = 0; // 0 = sweep {1, 4, hardware}
     for (int a = 1; a < argc; ++a) {
         if (std::strcmp(argv[a], "--smoke") == 0)
             smoke = true;
         else if (std::strcmp(argv[a], "--out") == 0 && a + 1 < argc)
             out_path = argv[++a];
+        else if (std::strcmp(argv[a], "--threads") == 0 && a + 1 < argc)
+            threads_flag = static_cast<unsigned>(
+                std::max(1, std::atoi(argv[++a])));
         else {
-            std::fprintf(stderr,
-                         "usage: perf_report [--smoke] [--out <path>]\n");
+            std::fprintf(stderr, "usage: perf_report [--smoke] "
+                                 "[--out <path>] [--threads <n>]\n");
             return 2;
         }
     }
@@ -354,6 +380,124 @@ main(int argc, char **argv)
         report.add(result("sortRun/presorted", t, n, reps));
     }
 
+    // --- sortRun, parallel thread scaling ---------------------------
+    // The same 1 M-random-entry sort as above, sharded across a host
+    // WorkerPool: parallel run formation, per-pair merge dispatch,
+    // merge-path-sliced final rounds. Output is bit-identical to the
+    // serial kernel at every thread count; only the wall clock moves.
+    {
+        std::vector<unsigned> sweep;
+        if (threads_flag > 0) {
+            sweep.push_back(threads_flag);
+        } else {
+            const unsigned hw = std::max(
+                1u, std::thread::hardware_concurrency());
+            for (unsigned t : {1u, 4u, hw})
+                if (std::find(sweep.begin(), sweep.end(), t)
+                    == sweep.end())
+                    sweep.push_back(t);
+        }
+        Rng rng(5);
+        std::vector<KpEntry> input(n);
+        for (uint32_t i = 0; i < n; ++i)
+            input[i] = KpEntry{rng.next(), nullptr};
+        std::vector<KpEntry> work(n), scratch(n);
+        const uint64_t bytes = uint64_t{n} * sizeof(KpEntry);
+        for (unsigned t : sweep) {
+            WorkerPool pool(t);
+            const TimedPair tp = bestNsVs(
+                reps,
+                [&] {
+                    std::memcpy(work.data(), input.data(), bytes);
+                    algo::sortRunParallel(work.data(), n,
+                                          scratch.data(), pool);
+                },
+                [&] {
+                    std::memcpy(work.data(), input.data(), bytes);
+                    naiveSortRun(work.data(), n, scratch.data());
+                });
+            char name[64];
+            std::snprintf(name, sizeof(name), "sortRun/parallel/t%u",
+                          t);
+            BenchResult r = result(name, tp, n, reps);
+            r.threads = static_cast<int>(t);
+            report.add(r);
+        }
+    }
+
+    // --- hash probe, wide-dup batched group prefetch ----------------
+    // The probe side of the wide-dup join as a hash workload: n
+    // lookups, every probed key present and probed twice. findBatch
+    // keeps kProbeBatch chains' head misses in flight (Cimple-style
+    // software pipelining); the reference is the scalar
+    // one-chain-at-a-time loop. The full-size table is sized past
+    // any plausible LLC (a server-class L3 can hide a merely
+    // cache-sized table entirely, leaving no latency to overlap and
+    // making the measurement meaningless for the DRAM-bound regime
+    // the batching exists for).
+    {
+        const uint32_t distinct = smoke ? n / 2 : 16u << 20;
+        algo::HashTable<uint64_t> table(distinct);
+        for (uint32_t k = 0; k < distinct; ++k)
+            table.findOrInsert(uint64_t{k} * 2 + 1) = k;
+        const std::vector<uint64_t> probes = makeWideDupProbes(n, 21);
+        // Both sides fulfil the same contract — materialize every
+        // probe's result pointer — so the measurement isolates the
+        // probing itself, not loop-fusion differences.
+        std::vector<uint64_t *> out(n);
+        uint64_t batched_hits = 0, scalar_hits = 0;
+        auto count_hits = [&out, n] {
+            uint64_t hits = 0;
+            for (uint32_t i = 0; i < n; ++i)
+                hits += out[i] != nullptr;
+            return hits;
+        };
+        const TimedPair tp = bestNsVs(
+            reps,
+            [&] {
+                table.findBatch(probes.data(), n, out.data());
+                batched_hits = count_hits();
+            },
+            [&] {
+                bench::naiveHashProbeAll(table, probes.data(), n,
+                                         out.data());
+                scalar_hits = count_hits();
+            });
+        if (batched_hits != scalar_hits) {
+            std::fprintf(stderr,
+                         "probe hit-count mismatch: %llu vs %llu\n",
+                         (unsigned long long)batched_hits,
+                         (unsigned long long)scalar_hits);
+            return 1;
+        }
+        report.add(result("probe/wide-dup", tp, n, reps));
+    }
+
+    // --- hash group (findOrInsert), batched group prefetch ----------
+    // The aggregation hot path of the record-at-a-time baseline:
+    // upsert-increment each probe key. Batched resolution stays in
+    // key order (insert visibility), so only the head-of-chain
+    // misses overlap — smaller win than pure probing, but on the
+    // critical path of every hash GroupBy window.
+    {
+        const uint32_t distinct = n / 2;
+        algo::HashTable<uint64_t> table(distinct);
+        for (uint32_t k = 0; k < distinct; ++k)
+            table.findOrInsert(uint64_t{k} * 2 + 1) = 0;
+        const std::vector<uint64_t> probes = makeWideDupProbes(n, 22);
+        const TimedPair tp = bestNsVs(
+            reps,
+            [&] {
+                table.findOrInsertBatch(
+                    probes.data(), n,
+                    [](uint32_t, uint64_t &count) { ++count; });
+            },
+            [&] {
+                bench::naiveHashGroupAll(table, probes.data(), n);
+            });
+        report.add(result("group/wide-dup", tp, n, reps));
+    }
+
     // --- extract ----------------------------------------------------
     {
         BundleHandle b = env.makeBundle(n, 1000, 6);
@@ -419,10 +563,11 @@ main(int argc, char **argv)
 
     // --- report -----------------------------------------------------
     Table t("perf_report — host wall clock");
-    t.header({"benchmark", "ns/op", "Mitems/s", "baseline ns/op",
-              "speedup"});
+    t.header({"benchmark", "thr", "ns/op", "Mitems/s",
+              "baseline ns/op", "speedup"});
     for (const BenchResult &r : report.results()) {
-        t.row({r.name, Table::num(r.ns_per_op, 0),
+        t.row({r.name, Table::num(static_cast<uint64_t>(r.threads)),
+               Table::num(r.ns_per_op, 0),
                Table::num(r.items_per_sec / 1e6, 1),
                r.baseline_ns_per_op > 0
                    ? Table::num(r.baseline_ns_per_op, 0)

@@ -4,13 +4,18 @@
  * §4.2, "Primitive Implementation").
  *
  * The paper's Sort splits a KPA into chunks, bitonic-sorts blocks of
- * 64 pairs, then merges. The kernels here are the single-thread
- * building blocks; multi-thread orchestration (N chunk sorts, then
- * pairwise merges sliced at key boundaries) lives in the runtime and
- * operator layers. The host implementation uses a branchless bitonic
- * network (what the paper hand-tunes with AVX-512); simulated timing
- * is charged by the caller via the cost model, so host SIMD width
- * never affects reported numbers.
+ * 64 pairs, then merges. sortRun is the single-thread kernel;
+ * sortRunParallel shards the same computation across a host
+ * WorkerPool — parallel run formation, then parallel merge rounds
+ * with the final (few, large) merges sliced at binary-searched
+ * merge-path boundaries so all threads help (paper §4.2: "the
+ * threads slice chunks at key boundaries"). The parallel kernel
+ * performs the identical block/level structure, so its output is
+ * bit-for-bit the serial output at every thread count. The host
+ * implementation uses a branchless bitonic network (what the paper
+ * hand-tunes with AVX-512); simulated timing is charged by the
+ * caller via the cost model, so neither host SIMD width nor host
+ * thread count ever affects reported numbers.
  */
 
 #ifndef SBHBM_ALGO_SORT_H
@@ -21,9 +26,11 @@
 #include <cstdint>
 #include <cstring>
 #include <utility>
+#include <vector>
 
 #include "columnar/record.h"
 #include "common/logging.h"
+#include "common/worker_pool.h"
 
 namespace sbhbm::algo {
 
@@ -197,6 +204,145 @@ mergePathSplit(const KpEntry *a, size_t na, const KpEntry *b, size_t nb,
     }
     *ai = lo;
     *bi = diag - lo;
+}
+
+/** Entries below which forking a parallel sort is not worth it. */
+constexpr size_t kParallelSortMin = size_t{1} << 15;
+
+/** Minimum output entries per merge-path segment. */
+constexpr size_t kMergeSegmentMin = size_t{1} << 14;
+
+/**
+ * Compute outputs [d0, d1) of mergeRuns(a, na, b, nb, out) without
+ * touching the rest: both diagonals are merge-path-split, then the
+ * enclosed sub-runs are merged. Writes exactly the bytes the full
+ * merge would, so disjoint segments may run concurrently.
+ */
+inline void
+mergeRunsSegment(const KpEntry *a, size_t na, const KpEntry *b, size_t nb,
+                 KpEntry *out, size_t d0, size_t d1)
+{
+    size_t ai0, bi0, ai1, bi1;
+    mergePathSplit(a, na, b, nb, d0, &ai0, &bi0);
+    mergePathSplit(a, na, b, nb, d1, &ai1, &bi1);
+    mergeRuns(a + ai0, ai1 - ai0, b + bi0, bi1 - bi0, out + d0);
+}
+
+/**
+ * mergeRuns with the output sliced across @p pool. Bit-identical to
+ * mergeRuns at every thread count (merge-path segments partition the
+ * output exactly; ties resolve a-first on every path).
+ */
+inline void
+mergeRunsParallel(const KpEntry *a, size_t na, const KpEntry *b,
+                  size_t nb, KpEntry *out, WorkerPool &pool)
+{
+    const size_t total = na + nb;
+    const size_t by_size =
+        std::max<size_t>(1, total / kMergeSegmentMin);
+    const auto segs = static_cast<uint32_t>(
+        std::min<size_t>(pool.threads(), by_size));
+    if (segs <= 1) {
+        mergeRuns(a, na, b, nb, out);
+        return;
+    }
+    pool.parallelFor(segs, [=](uint32_t s) {
+        const size_t d0 = total * s / segs;
+        const size_t d1 = total * (s + 1) / segs;
+        mergeRunsSegment(a, na, b, nb, out, d0, d1);
+    });
+}
+
+/**
+ * sortRun sharded across @p pool; output is bit-for-bit what sortRun
+ * produces, at every thread count.
+ *
+ * Run formation: the block sorts (and the odd-parity copy into
+ * scratch) shard by contiguous block ranges. Merge rounds: every
+ * level's pairwise merges write disjoint output regions, so pairs
+ * dispatch concurrently; once a level has fewer pairs than threads
+ * (the last, largest merges) each pair's output is further sliced at
+ * merge-path diagonals so every thread still contributes. The level
+ * structure, ping-pong parity and tie-breaking are exactly
+ * sortRun's, which is what makes the result independent of the
+ * slicing.
+ */
+inline void
+sortRunParallel(KpEntry *data, size_t n, KpEntry *scratch,
+                WorkerPool &pool)
+{
+    if (n <= 1)
+        return;
+    if (pool.threads() <= 1 || n < kParallelSortMin) {
+        sortRun(data, n, scratch);
+        return;
+    }
+    if (isSortedByKey(data, n))
+        return;
+    const size_t threads = pool.threads();
+    const int levels = mergeLevels(n);
+    KpEntry *src = (levels % 2 == 0) ? data : scratch;
+    KpEntry *dst = (levels % 2 == 0) ? scratch : data;
+
+    // Run formation: independent 64-entry block sorts.
+    const size_t nblocks = (n + kSortBlock - 1) / kSortBlock;
+    const auto form_shards = static_cast<uint32_t>(
+        std::min<size_t>(nblocks, 4 * threads));
+    pool.parallelFor(form_shards, [&](uint32_t s) {
+        const size_t b0 = nblocks * s / form_shards;
+        const size_t b1 = nblocks * (s + 1) / form_shards;
+        for (size_t blk = b0; blk < b1; ++blk) {
+            const size_t i = blk * kSortBlock;
+            const size_t m = std::min(kSortBlock, n - i);
+            if (src != data)
+                std::memcpy(src + i, data + i, m * sizeof(KpEntry));
+            sortBlock(src + i, m);
+        }
+    });
+
+    // Merge rounds. A segment is (pair offsets, output diagonals).
+    struct Segment
+    {
+        size_t i, mid, end; //!< pair: [i, mid) merged with [mid, end)
+        size_t d0, d1;      //!< output slice, relative to i
+    };
+    std::vector<Segment> segs;
+    for (size_t width = kSortBlock; width < n; width <<= 1) {
+        segs.clear();
+        const size_t npairs = (n + 2 * width - 1) / (2 * width);
+        for (size_t i = 0; i < n; i += 2 * width) {
+            const size_t mid = std::min(i + width, n);
+            const size_t end = std::min(i + 2 * width, n);
+            // Slice the pair when pairs are scarcer than threads and
+            // the slices stay worth their two binary searches.
+            size_t pieces = 1;
+            if (npairs < threads) {
+                pieces = std::min((threads + npairs - 1) / npairs,
+                                  std::max<size_t>(
+                                      1, (end - i) / kMergeSegmentMin));
+            }
+            for (size_t p = 0; p < pieces; ++p) {
+                segs.push_back(Segment{i, mid, end,
+                                       (end - i) * p / pieces,
+                                       (end - i) * (p + 1) / pieces});
+            }
+        }
+        pool.parallelFor(
+            static_cast<uint32_t>(segs.size()), [&](uint32_t s) {
+                const Segment &g = segs[s];
+                const size_t na = g.mid - g.i;
+                const size_t nb = g.end - g.mid;
+                if (g.d0 == 0 && g.d1 == g.end - g.i) {
+                    mergeRuns(src + g.i, na, src + g.mid, nb,
+                              dst + g.i);
+                } else {
+                    mergeRunsSegment(src + g.i, na, src + g.mid, nb,
+                                     dst + g.i, g.d0, g.d1);
+                }
+            });
+        std::swap(src, dst);
+    }
+    // `levels` swaps from the precomputed start: src == data here.
 }
 
 } // namespace sbhbm::algo

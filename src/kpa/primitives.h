@@ -36,6 +36,7 @@
 #include "common/fast_divide.h"
 #include "columnar/bundle.h"
 #include "common/logging.h"
+#include "common/worker_pool.h"
 #include "kpa/kpa.h"
 #include "mem/hybrid_memory.h"
 #include "sim/cost_model.h"
@@ -60,6 +61,15 @@ struct Ctx
      * so the engine sets this to record_bytes / 16.
      */
     double group_scale = 1.0;
+
+    /**
+     * Host fork-join pool for the wall-clock of heavy kernels
+     * (sortKpa's merge rounds, large merges). Optional: nullptr (or a
+     * 1-thread pool) runs the serial code paths. Parallel and serial
+     * paths produce bit-identical entries and identical charges, so
+     * this never changes simulated results.
+     */
+    WorkerPool *pool = nullptr;
 
     /** Scale KPA-side traffic by group_scale. */
     uint64_t
@@ -345,6 +355,37 @@ updateKeysInPlace(Ctx ctx, Kpa &k, KeyFn &&fn)
 }
 
 /**
+ * updateKeysInPlace specialized to an external key-value table:
+ * every resident key is replaced by table[key] (or kept when
+ * absent). The probes run through HashTable::findBatch, so the
+ * per-key chain walks overlap their cache misses instead of
+ * serializing — same results and identical charges as the generic
+ * per-key path.
+ */
+inline void
+updateKeysViaTable(Ctx ctx, Kpa &k, algo::HashTable<uint64_t> &table)
+{
+    KpEntry *e = k.entries();
+    const uint32_t n = k.size();
+    constexpr uint32_t kB = algo::HashTable<uint64_t>::kProbeBatch;
+    uint64_t keys[kB];
+    uint64_t *vals[kB];
+    for (uint32_t base = 0; base < n; base += kB) {
+        const uint32_t b = std::min(kB, n - base);
+        for (uint32_t l = 0; l < b; ++l)
+            keys[l] = e[base + l].key;
+        table.findBatch(keys, b, vals);
+        for (uint32_t l = 0; l < b; ++l)
+            e[base + l].key = vals[l] != nullptr ? *vals[l] : keys[l];
+    }
+    k.setResidentColumn(columnar::kNoColumn);
+    k.setSorted(k.size() <= 1);
+    ctx.hm.charge(ctx.log, k.tier(), AccessPattern::kSequential,
+                  ctx.scaled(k.bytes()));
+    ctx.kernel(cost::kSwapNsPerRec * k.size());
+}
+
+/**
  * Write the (possibly dirty) resident keys back to record column
  * @p col (paper §4.3 optimization 2).
  */
@@ -386,8 +427,14 @@ sortKpa(Ctx ctx, Kpa &k)
             // Scratch lives on the same tier while the sort runs.
             mem::Block scratch =
                 ctx.hm.alloc(n * sizeof(KpEntry), k.tier());
-            algo::sortRun(k.entries(), n,
-                          static_cast<KpEntry *>(scratch.ptr));
+            if (ctx.pool != nullptr && ctx.pool->threads() > 1) {
+                algo::sortRunParallel(
+                    k.entries(), n,
+                    static_cast<KpEntry *>(scratch.ptr), *ctx.pool);
+            } else {
+                algo::sortRun(k.entries(), n,
+                              static_cast<KpEntry *>(scratch.ptr));
+            }
             ctx.hm.free(scratch);
         }
 
@@ -414,8 +461,13 @@ merge(Ctx ctx, const Kpa &a, const Kpa &b, Placement place)
     sbhbm_assert(a.sorted() && b.sorted(), "merge requires sorted inputs");
     KpaPtr out = Kpa::create(ctx.hm, a.size() + b.size(),
                              ctx.place(place));
-    algo::mergeRuns(a.entries(), a.size(), b.entries(), b.size(),
-                    out->entries());
+    if (ctx.pool != nullptr && ctx.pool->threads() > 1) {
+        algo::mergeRunsParallel(a.entries(), a.size(), b.entries(),
+                                b.size(), out->entries(), *ctx.pool);
+    } else {
+        algo::mergeRuns(a.entries(), a.size(), b.entries(), b.size(),
+                        out->entries());
+    }
     out->setSizeUnsafe(a.size() + b.size());
     out->setSorted(true);
     out->setResidentColumn(a.residentColumn() == b.residentColumn()
@@ -494,6 +546,10 @@ join(Ctx ctx, const Kpa &l, const Kpa &r,
             [&](uint64_t key, uint32_t i, uint32_t i_end, uint32_t j,
                 uint32_t j_end) {
                 for (uint32_t x = i; x < i_end; ++x) {
+                    // Same rolling batch for the left run's rows.
+                    if (nl != 0 && x + detail::kPrefetchAhead < i_end)
+                        detail::prefetchRow(
+                            le[x + detail::kPrefetchAhead].row);
                     // The {key, left payload} prefix is invariant over
                     // the right run: build it once, then replicate it
                     // with one whole-row memcpy per emitted record.
@@ -508,6 +564,17 @@ join(Ctx ctx, const Kpa &l, const Kpa &r,
                             dst[1 + c] = lrow[lc[c]];
                     }
                     for (uint32_t y = j; y < j_end; ++y) {
+                        // Probe-side batching inside long duplicate
+                        // runs: the scan hook covers rows only up to
+                        // kPrefetchAhead past the scan position, so
+                        // the first sweep over a longer right run
+                        // would miss serially. Keep a rolling batch
+                        // of in-flight row loads during that first
+                        // sweep; later sweeps re-touch cached lines.
+                        if (x == i && nr != 0
+                            && y + detail::kPrefetchAhead < j_end)
+                            detail::prefetchRow(
+                                re[y + detail::kPrefetchAhead].row);
                         if (dst != first)
                             std::memcpy(dst, first, prefix_bytes);
                         const uint64_t *rrow = re[y].row;

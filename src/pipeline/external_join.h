@@ -54,10 +54,9 @@ class ExternalJoinOp : public Operator
             auto ctx = makeCtx(log, msg.kpa->recordCols());
             kpa::Kpa &k = *msg.kpa;
 
-            kpa::updateKeysInPlace(ctx, k, [this](uint64_t key) {
-                const uint64_t *v = table_->find(key);
-                return v != nullptr ? *v : key;
-            });
+            // Batched probes: the per-key chain walks overlap their
+            // misses (HashTable::findBatch) instead of serializing.
+            kpa::updateKeysViaTable(ctx, k, *table_);
             // Table probes: one random line per record into the
             // (HBM-resident, when available) table.
             ctx.hm.charge(log, ctx.hm.smallStateTier(),

@@ -180,6 +180,12 @@ class Operator
                 static_cast<double>(record_cols) * sizeof(uint64_t)
                 / sizeof(columnar::KpEntry);
         }
+        // Kernels shard heavy host work (parallel sortKpa merge
+        // rounds, sliced merges) across the engine's host pool;
+        // simulated charges are unaffected. Null on single-threaded
+        // hosts: the kernels then take their serial paths with no
+        // pool ever constructed.
+        ctx.pool = eng_.exec().hostPoolIfParallel();
         return ctx;
     }
 

@@ -7,6 +7,16 @@
  * against the other stream's window state and (2) merged into its own
  * stream's window state, both per arrival — so every cross-stream key
  * pair within a window is emitted exactly once, streaming.
+ *
+ * Host-speed notes. The probe side (the incoming KPA scanned against
+ * state) uses kpa::join's batched random-dereference machinery: the
+ * payload rows behind both KPAs' record pointers are issued as
+ * rolling groups of in-flight loads (Cimple-style software
+ * pipelining) so DRAM misses overlap instead of serializing — both
+ * along the scan and inside long duplicate-key runs. The sort of the
+ * incoming KPA and the merge into window state shard across the
+ * engine's host WorkerPool via kpa::sortKpa / kpa::merge. None of
+ * this changes simulated costs or emitted bytes.
  */
 
 #ifndef SBHBM_PIPELINE_TEMPORAL_JOIN_H

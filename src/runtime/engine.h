@@ -43,6 +43,14 @@ struct EngineConfig
     unsigned cores = 64;
 
     /**
+     * Host threads for kernels' wall-clock fork-join pool (0 = auto:
+     * $SBHBM_HOST_THREADS or the hardware concurrency). Results and
+     * CostLog output are bit-identical at every setting; this only
+     * changes how fast the host gets there.
+     */
+    unsigned host_threads = 0;
+
+    /**
      * When false, grouping operates on full records instead of
      * extracted KPAs (the "NoKPA" ablation): operators skip Extract
      * and charge full-record traffic for every grouping pass.
@@ -78,6 +86,8 @@ class Engine
           monitor_(machine_, hm_, knob_, [this] { return delayHeadroomOk(); },
                    cfg.monitor_period)
     {
+        if (cfg.host_threads != 0)
+            exec_.setHostThreads(cfg.host_threads);
     }
 
     Engine(const Engine &) = delete;

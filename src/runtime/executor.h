@@ -17,6 +17,11 @@
  * multi-tenant serving layer gives each tenant its own stream id so
  * the dispatch policy can arbitrate between them and per-stream cost
  * totals can be audited.
+ *
+ * Besides the simulated core slots, the executor owns a host
+ * WorkerPool (hostPool()): the real fork-join pool kernels use to
+ * parallelize their functional work's wall-clock within a task,
+ * without affecting simulated time or CostLog output.
  */
 
 #ifndef SBHBM_RUNTIME_EXECUTOR_H
@@ -33,6 +38,7 @@
 
 #include "common/logging.h"
 #include "common/unique_function.h"
+#include "common/worker_pool.h"
 #include "runtime/impact_tag.h"
 #include "sim/cost_model.h"
 #include "sim/machine.h"
@@ -181,8 +187,18 @@ class Executor
     }
 
     /**
-     * Spawn @p n data-parallel tasks; @p all_done fires once every
-     * one of them completed. fn(i, log) handles shard i.
+     * Simulated fork-join: spawn @p n data-parallel tasks; @p all_done
+     * fires once every one of them completed. fn(i, log) handles shard
+     * i. Each shard is an ordinary spawn, so the installed
+     * DispatchPolicy arbitrates shards exactly like any other tasks —
+     * a tenant's parallel fan-out cannot jump another tenant's queue
+     * under the FairScheduler, and at 1 core the shards simply
+     * dispatch back-to-back (inline degradation in virtual time).
+     *
+     * This primitive parallelizes *simulated* time. Its host-side
+     * twin is hostPool().parallelFor() / hostParallelFor(), which
+     * parallelizes the wall-clock of a kernel's functional work
+     * within one task; the two compose freely.
      */
     void
     parallelFor(ImpactTag tag, uint32_t n,
@@ -208,6 +224,65 @@ class Executor
                 },
                 stream);
         }
+    }
+
+    // ---------------------------------------------------------------
+    // Host worker pool (wall-clock parallelism).
+    //
+    // Simulated core slots time-share one host thread; the host pool
+    // is the real fork-join pool kernels shard their functional work
+    // across (parallel sortKpa merge rounds, sharded reductions).
+    // Kernels receive it through kpa::Ctx and must produce
+    // bit-identical results and CostLog charges at every thread
+    // count; with 1 thread the pool degrades to inline execution.
+    // ---------------------------------------------------------------
+
+    /**
+     * Fix the host pool at @p threads workers (1 = inline). Must be
+     * called before the first hostPool() use; the default is
+     * WorkerPool::defaultThreads() ($SBHBM_HOST_THREADS or the
+     * hardware concurrency).
+     */
+    void
+    setHostThreads(unsigned threads)
+    {
+        sbhbm_assert(host_pool_ == nullptr,
+                     "host pool already instantiated");
+        host_threads_ = threads >= 1 ? threads : 1;
+    }
+
+    /** The lazily-created host fork-join pool. */
+    WorkerPool &
+    hostPool()
+    {
+        if (host_pool_ == nullptr) {
+            if (host_threads_ == 0)
+                host_threads_ = WorkerPool::defaultThreads();
+            host_pool_ = std::make_unique<WorkerPool>(host_threads_);
+        }
+        return *host_pool_;
+    }
+
+    /**
+     * The host pool when it would actually parallelize, else nullptr
+     * so kernels take their serial paths with zero indirection.
+     * Cheap to call per task: pool construction is trivial and its
+     * worker threads spawn only at the first job that really forks
+     * (a kernel crossing its parallel threshold).
+     */
+    WorkerPool *
+    hostPoolIfParallel()
+    {
+        if (host_threads_ == 0)
+            host_threads_ = WorkerPool::defaultThreads();
+        return host_threads_ > 1 ? &hostPool() : nullptr;
+    }
+
+    /** Blocking host fork-join (see WorkerPool::parallelFor). */
+    void
+    hostParallelFor(uint32_t shards, const WorkerPool::ShardFn &fn)
+    {
+        hostPool().parallelFor(shards, fn);
     }
 
     unsigned cores() const { return cores_; }
@@ -366,6 +441,8 @@ class Executor
     TagPriorityPolicy default_policy_;
     DispatchPolicy *policy_ = nullptr;
     std::vector<DispatchPolicy::StreamBacklog> backlog_;
+    unsigned host_threads_ = 0; //!< 0 = WorkerPool::defaultThreads()
+    std::unique_ptr<WorkerPool> host_pool_;
 };
 
 } // namespace sbhbm::runtime

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
 #include <map>
 #include <vector>
 
@@ -208,6 +209,60 @@ TEST(MergePathSplit, ParallelMergeViaSplitsEqualsSequentialMerge)
     }
     for (size_t i = 0; i < total; ++i)
         ASSERT_EQ(out[i].key, expect[i].key);
+}
+
+/**
+ * Regression for the adaptive presorted early-out: nearly-sorted
+ * input (exactly one inversion) must abandon the early-out at the
+ * inversion and still produce correct output. Before this test, the
+ * adaptive path was only ever exercised on fully-sorted input.
+ */
+TEST(SortRun, NearlySortedOneInversionStillSortsCorrectly)
+{
+    const size_t n = 5000; // several merge levels above the blocks
+    // Inversion positions: front, inside the first block, straddling
+    // a block boundary, mid-array, and the very last pair.
+    for (const size_t p :
+         {size_t{0}, size_t{30}, kSortBlock - 1, n / 2, n - 2}) {
+        std::vector<KpEntry> v(n), scratch(n);
+        for (size_t i = 0; i < n; ++i)
+            v[i] = KpEntry{i, reinterpret_cast<uint64_t *>(i + 1)};
+        std::swap(v[p], v[p + 1]); // the one inversion
+        ASSERT_FALSE(isSortedByKey(v.data(), n));
+        sortRun(v.data(), n, scratch.data());
+        // Distinct keys: the sorted arrangement is unique, so the
+        // payloads must come back to exactly their original slots.
+        for (size_t i = 0; i < n; ++i) {
+            ASSERT_EQ(v[i].key, i) << "inversion at " << p;
+            ASSERT_EQ(v[i].row, reinterpret_cast<uint64_t *>(i + 1))
+                << "inversion at " << p;
+        }
+    }
+}
+
+/** Same regression with duplicate keys and the parallel kernel. */
+TEST(SortRun, NearlySortedWithDuplicatesMatchesSerialAtAllThreads)
+{
+    const size_t n = (size_t{1} << 15) + 100; // above parallel min
+    std::vector<KpEntry> base(n);
+    for (size_t i = 0; i < n; ++i)
+        base[i] =
+            KpEntry{i / 8, reinterpret_cast<uint64_t *>(i + 1)};
+    std::swap(base[n / 3], base[n / 3 + 9]); // one out-of-place span
+    auto orig = base;
+    std::vector<KpEntry> scratch(n);
+    auto serial = base;
+    sortRun(serial.data(), n, scratch.data());
+    expectSortedPermutation(orig, serial);
+    for (const unsigned threads : {2u, 8u}) {
+        WorkerPool pool(threads);
+        auto par = base;
+        sortRunParallel(par.data(), n, scratch.data(), pool);
+        ASSERT_EQ(std::memcmp(par.data(), serial.data(),
+                              n * sizeof(KpEntry)),
+                  0)
+            << threads;
+    }
 }
 
 TEST(CompareExchange, OrdersPairAndPreservesPayload)

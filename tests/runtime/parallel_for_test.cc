@@ -1,0 +1,234 @@
+/**
+ * @file
+ * The fork-join contract of the host WorkerPool and its integration
+ * with the executor: deterministic results at every thread count,
+ * inline degradation at 1 thread, nested-dispatch safety, exception
+ * propagation, and — for the *simulated* Executor::parallelFor —
+ * arbitration of shard dispatch by the installed DispatchPolicy
+ * (FairScheduler interleaves tenants where the default policy runs
+ * them back to back).
+ */
+
+#include "common/worker_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "runtime/executor.h"
+#include "serve/fair_scheduler.h"
+#include "sim/machine.h"
+
+namespace sbhbm::runtime {
+namespace {
+
+sim::MachineConfig
+testConfig(unsigned cores = 4)
+{
+    auto cfg = sim::MachineConfig::knl();
+    cfg.cores = cores;
+    return cfg;
+}
+
+/** A shard result that depends on the shard id alone. */
+uint64_t
+shardValue(uint32_t s)
+{
+    uint64_t v = s + 1;
+    for (int i = 0; i < 8; ++i)
+        v = v * 6364136223846793005ULL + 1442695040888963407ULL;
+    return v;
+}
+
+TEST(WorkerPool, DeterministicAcrossThreadCounts)
+{
+    constexpr uint32_t kShards = 257; // not a multiple of anything
+    std::vector<uint64_t> want(kShards);
+    for (uint32_t s = 0; s < kShards; ++s)
+        want[s] = shardValue(s);
+
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        WorkerPool pool(threads);
+        std::vector<uint64_t> got(kShards, 0);
+        // Several consecutive jobs on one pool: reuse must be clean.
+        for (int round = 0; round < 3; ++round) {
+            std::fill(got.begin(), got.end(), 0);
+            pool.parallelFor(kShards, [&](uint32_t s) {
+                got[s] = shardValue(s);
+            });
+            EXPECT_EQ(got, want) << threads << " threads, round "
+                                 << round;
+        }
+    }
+}
+
+TEST(WorkerPool, OneThreadRunsEveryShardInlineOnCaller)
+{
+    WorkerPool pool(1);
+    EXPECT_EQ(pool.threads(), 1u);
+    const std::thread::id caller = std::this_thread::get_id();
+    uint32_t ran = 0;
+    pool.parallelFor(17, [&](uint32_t) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        ++ran; // safe: inline means strictly sequential
+    });
+    EXPECT_EQ(ran, 17u);
+}
+
+TEST(WorkerPool, ZeroShardsIsANoop)
+{
+    WorkerPool pool(4);
+    pool.parallelFor(0, [](uint32_t) { FAIL() << "no shards to run"; });
+}
+
+TEST(WorkerPool, NestedDispatchRunsInlineAndCompletes)
+{
+    WorkerPool pool(4);
+    constexpr uint32_t kOuter = 8, kInner = 16;
+    std::vector<uint64_t> got(kOuter * kInner, 0);
+    pool.parallelFor(kOuter, [&](uint32_t o) {
+        // A kernel inside a shard may itself call parallelFor (e.g.
+        // a sharded reduce whose shards sort): the nested call must
+        // run inline rather than deadlock waiting on the pool's own
+        // workers.
+        EXPECT_TRUE(WorkerPool::inShard());
+        const std::thread::id me = std::this_thread::get_id();
+        pool.parallelFor(kInner, [&, o, me](uint32_t i) {
+            EXPECT_EQ(std::this_thread::get_id(), me);
+            got[o * kInner + i] = shardValue(o * kInner + i);
+        });
+    });
+    EXPECT_FALSE(WorkerPool::inShard());
+    for (uint32_t x = 0; x < kOuter * kInner; ++x)
+        EXPECT_EQ(got[x], shardValue(x));
+}
+
+TEST(WorkerPool, RethrowsLowestShardExceptionAndSurvives)
+{
+    for (unsigned threads : {2u, 4u, 8u}) {
+        WorkerPool pool(threads);
+        std::atomic<uint32_t> ran{0};
+        try {
+            pool.parallelFor(32, [&](uint32_t s) {
+                ran.fetch_add(1);
+                if (s == 7 || s == 13)
+                    throw std::runtime_error("shard "
+                                             + std::to_string(s));
+            });
+            FAIL() << "expected a rethrow";
+        } catch (const std::runtime_error &e) {
+            // Both shards threw on some thread; the winner is the
+            // lowest shard index no matter the interleaving.
+            EXPECT_STREQ(e.what(), "shard 7");
+        }
+        EXPECT_EQ(ran.load(), 32u) << "barrier still joins all shards";
+
+        // The pool must stay usable after a failed job.
+        std::vector<uint64_t> got(8, 0);
+        pool.parallelFor(8, [&](uint32_t s) { got[s] = s + 1; });
+        for (uint32_t s = 0; s < 8; ++s)
+            EXPECT_EQ(got[s], s + 1);
+    }
+}
+
+TEST(WorkerPool, InlinePathMatchesPooledFailureSemantics)
+{
+    // Same contract as the pooled path: every shard still runs, and
+    // the lowest-indexed shard's exception is rethrown afterwards —
+    // so side effects on the failure path are identical at every
+    // thread count.
+    WorkerPool pool(1);
+    uint32_t ran = 0;
+    try {
+        pool.parallelFor(4, [&](uint32_t s) {
+            ++ran;
+            if (s == 2)
+                throw std::logic_error("boom");
+        });
+        FAIL() << "expected a rethrow";
+    } catch (const std::logic_error &e) {
+        EXPECT_STREQ(e.what(), "boom");
+    }
+    EXPECT_EQ(ran, 4u);
+}
+
+TEST(Executor, HostPoolDefaultsLazilyAndHonorsSetHostThreads)
+{
+    sim::Machine m(testConfig());
+    Executor ex(m, 4);
+    ex.setHostThreads(3);
+    EXPECT_EQ(ex.hostPool().threads(), 3u);
+    uint64_t sum = 0;
+    std::vector<uint64_t> per(64, 0);
+    ex.hostParallelFor(64, [&](uint32_t s) { per[s] = s; });
+    for (uint64_t v : per)
+        sum += v;
+    EXPECT_EQ(sum, 64u * 63u / 2);
+}
+
+/**
+ * Simulated fork-join x dispatch policy: every shard of a tenant's
+ * parallelFor is an ordinary spawn, so the FairScheduler interleaves
+ * two tenants' shard streams where the default tag-priority policy
+ * would drain them in global FIFO (all of tenant 1, then tenant 2).
+ */
+TEST(Executor, ParallelForShardsAreArbitratedByFairScheduler)
+{
+    constexpr uint32_t kShards = 6;
+
+    auto run = [&](DispatchPolicy *policy) {
+        sim::Machine m(testConfig(4));
+        Executor ex(m, 1); // one core => the policy picks every task
+        ex.setDispatchPolicy(policy);
+        std::vector<StreamId> order;
+        bool done1 = false, done2 = false;
+        for (StreamId stream : {StreamId{1}, StreamId{2}}) {
+            ex.parallelFor(
+                ImpactTag::kHigh, kShards,
+                [&order, stream](uint32_t, sim::CostLog &log) {
+                    order.push_back(stream);
+                    log.cpu(1000);
+                },
+                [&done1, &done2, stream] {
+                    (stream == 1 ? done1 : done2) = true;
+                },
+                stream);
+        }
+        m.run();
+        EXPECT_TRUE(done1);
+        EXPECT_TRUE(done2);
+        EXPECT_EQ(order.size(), 2 * kShards);
+        return order;
+    };
+
+    // Default policy: global FIFO within the tag — stream 1's shards
+    // all dispatch before stream 2's.
+    const auto fifo = run(nullptr);
+    for (uint32_t i = 0; i < kShards; ++i) {
+        EXPECT_EQ(fifo[i], 1u);
+        EXPECT_EQ(fifo[kShards + i], 2u);
+    }
+
+    // FairScheduler, equal weights: the two backlogs interleave —
+    // stream 2 dispatches shards before stream 1 has drained.
+    serve::FairScheduler fair;
+    fair.setWeight(1, 1.0);
+    fair.setWeight(2, 1.0);
+    const auto shared = run(&fair);
+    uint32_t first2 = 0;
+    while (first2 < shared.size() && shared[first2] == 1u)
+        ++first2;
+    EXPECT_LT(first2, kShards)
+        << "fair policy should serve stream 2 before stream 1 drains";
+    // And no stream is starved at the tail either: both streams
+    // appear in the final kShards dispatches' window.
+    std::set<StreamId> tail(shared.end() - kShards, shared.end());
+    EXPECT_EQ(tail.size(), 2u);
+}
+
+} // namespace
+} // namespace sbhbm::runtime
