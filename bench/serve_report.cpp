@@ -7,9 +7,12 @@
  * arrivals, sessions arriving over a 100 ms span) and the server
  * runs it to drain. Reported per point: aggregate throughput, the
  * pooled p50/p99 watermark latency across every tenant's windows,
- * Jain's fairness index over weight-normalized service, and the
- * admission counters. Written to BENCH_serve.json (schema
- * sbhbm-serve-v1) for the CI artifact.
+ * Jain's fairness index over weight-normalized service, the
+ * admission counters, and per-tenant memory-control-plane accounting
+ * (peak HBM occupancy, demotion counts). A final overload point runs
+ * a scarce-HBM fleet with the pressure director + live admission
+ * enabled so the demotion path shows real numbers. Written to
+ * BENCH_serve.json (schema sbhbm-serve-v2) for the CI artifact.
  *
  * Usage: serve_report [--smoke] [--out <path>]
  */
@@ -33,6 +36,28 @@ namespace {
 /** Core slots every sweep point's engine uses. */
 constexpr unsigned kCores = 16;
 
+struct TenantMem
+{
+    uint32_t id = 0;
+    uint64_t hbm_peak_bytes = 0;
+    uint64_t demoted_kpas = 0;
+    uint64_t demoted_bytes = 0;
+    uint64_t sla_demotions = 0;
+};
+
+/** The per-tenant memory-control-plane slice of a TenantReport. */
+TenantMem
+toTenantMem(const TenantReport &r)
+{
+    TenantMem tm;
+    tm.id = r.spec.id;
+    tm.hbm_peak_bytes = r.hbm_peak_bytes;
+    tm.demoted_kpas = r.demoted_kpas;
+    tm.demoted_bytes = r.demoted_bytes;
+    tm.sla_demotions = r.sla_demotions;
+    return tm;
+}
+
 struct Point
 {
     uint32_t tenants = 0;
@@ -45,6 +70,8 @@ struct Point
     uint64_t admitted = 0;
     uint64_t queued = 0;
     uint64_t rejected = 0;
+    uint64_t demoted_kpas = 0;
+    std::vector<TenantMem> tenant_mem;
 };
 
 Point
@@ -93,41 +120,106 @@ runPoint(uint32_t tenants, bool smoke)
     p.p50_s = pooled.percentile(50);
     p.p99_s = pooled.percentile(99);
     p.rejected = server.registry().rejected();
+    p.demoted_kpas = server.engine().director().demotedKpas();
+    for (const TenantReport &r : server.reports())
+        p.tenant_mem.push_back(toTenantMem(r));
     return p;
 }
 
+/**
+ * The control-plane overload point: the canonical scarce-HBM scenario
+ * (serve::overloadServeConfig / serve::makeOverloadFleet — the same
+ * one examples/multi_tenant demonstrates) with the pressure director,
+ * live-pressure admission and SLA demotion all enabled.
+ */
+Point
+runOverloadPoint(bool smoke)
+{
+    serve::Server server(
+        serve::overloadServeConfig(kCores, /*control_plane=*/true));
+    const uint64_t records = smoke ? 150'000 : 600'000;
+    server.submitFleet(serve::makeOverloadFleet(records));
+    server.run();
+
+    Point p;
+    p.tenants = 4;
+    p.aggregate_mrps = server.aggregateMrps();
+    p.fairness = server.fairnessIndex();
+    p.demoted_kpas = server.engine().director().demotedKpas();
+    SampleSet pooled;
+    for (const TenantReport &r : server.reports()) {
+        ++p.admitted;
+        p.windows += r.windows;
+        p.sla_violations += r.sla_violations;
+        for (double s : r.latency_samples)
+            pooled.add(s);
+        p.tenant_mem.push_back(toTenantMem(r));
+    }
+    p.p50_s = pooled.percentile(50);
+    p.p99_s = pooled.percentile(99);
+    return p;
+}
+
+void
+writePoint(std::FILE *f, const Point &p, const char *indent,
+           const char *trailer)
+{
+    std::fprintf(f, "%s{\n", indent);
+    std::fprintf(f, "%s  \"tenants\": %u,\n", indent, p.tenants);
+    std::fprintf(f, "%s  \"aggregate_mrps\": %.3f,\n", indent,
+                 p.aggregate_mrps);
+    std::fprintf(f, "%s  \"p50_s\": %.6f,\n", indent, p.p50_s);
+    std::fprintf(f, "%s  \"p99_s\": %.6f,\n", indent, p.p99_s);
+    std::fprintf(f, "%s  \"fairness\": %.4f,\n", indent, p.fairness);
+    std::fprintf(f, "%s  \"windows\": %llu,\n", indent,
+                 static_cast<unsigned long long>(p.windows));
+    std::fprintf(f, "%s  \"sla_violations\": %llu,\n", indent,
+                 static_cast<unsigned long long>(p.sla_violations));
+    std::fprintf(f, "%s  \"admitted\": %llu,\n", indent,
+                 static_cast<unsigned long long>(p.admitted));
+    std::fprintf(f, "%s  \"queued\": %llu,\n", indent,
+                 static_cast<unsigned long long>(p.queued));
+    std::fprintf(f, "%s  \"rejected\": %llu,\n", indent,
+                 static_cast<unsigned long long>(p.rejected));
+    std::fprintf(f, "%s  \"demoted_kpas\": %llu,\n", indent,
+                 static_cast<unsigned long long>(p.demoted_kpas));
+    std::fprintf(f, "%s  \"tenant_mem\": [\n", indent);
+    for (size_t t = 0; t < p.tenant_mem.size(); ++t) {
+        const TenantMem &tm = p.tenant_mem[t];
+        std::fprintf(
+            f,
+            "%s    {\"id\": %u, \"hbm_peak_bytes\": %llu, "
+            "\"demoted_kpas\": %llu, \"demoted_bytes\": %llu, "
+            "\"sla_demotions\": %llu}%s\n",
+            indent, tm.id,
+            static_cast<unsigned long long>(tm.hbm_peak_bytes),
+            static_cast<unsigned long long>(tm.demoted_kpas),
+            static_cast<unsigned long long>(tm.demoted_bytes),
+            static_cast<unsigned long long>(tm.sla_demotions),
+            t + 1 < p.tenant_mem.size() ? "," : "");
+    }
+    std::fprintf(f, "%s  ]\n", indent);
+    std::fprintf(f, "%s}%s\n", indent, trailer);
+}
+
 bool
-writeJson(const std::string &path, const std::vector<Point> &points)
+writeJson(const std::string &path, const std::vector<Point> &points,
+          const Point &overload)
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (f == nullptr)
         return false;
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": \"sbhbm-serve-v1\",\n");
+    std::fprintf(f, "  \"schema\": \"sbhbm-serve-v2\",\n");
     std::fprintf(f, "  \"cores\": %u,\n", kCores);
     std::fprintf(f, "  \"points\": [\n");
-    for (size_t i = 0; i < points.size(); ++i) {
-        const Point &p = points[i];
-        std::fprintf(f, "    {\n");
-        std::fprintf(f, "      \"tenants\": %u,\n", p.tenants);
-        std::fprintf(f, "      \"aggregate_mrps\": %.3f,\n",
-                     p.aggregate_mrps);
-        std::fprintf(f, "      \"p50_s\": %.6f,\n", p.p50_s);
-        std::fprintf(f, "      \"p99_s\": %.6f,\n", p.p99_s);
-        std::fprintf(f, "      \"fairness\": %.4f,\n", p.fairness);
-        std::fprintf(f, "      \"windows\": %llu,\n",
-                     static_cast<unsigned long long>(p.windows));
-        std::fprintf(f, "      \"sla_violations\": %llu,\n",
-                     static_cast<unsigned long long>(p.sla_violations));
-        std::fprintf(f, "      \"admitted\": %llu,\n",
-                     static_cast<unsigned long long>(p.admitted));
-        std::fprintf(f, "      \"queued\": %llu,\n",
-                     static_cast<unsigned long long>(p.queued));
-        std::fprintf(f, "      \"rejected\": %llu\n",
-                     static_cast<unsigned long long>(p.rejected));
-        std::fprintf(f, "    }%s\n", i + 1 < points.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
+    for (size_t i = 0; i < points.size(); ++i)
+        writePoint(f, points[i], "    ",
+                   i + 1 < points.size() ? "," : "");
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"overload\": \n");
+    writePoint(f, overload, "  ", "");
+    std::fprintf(f, "}\n");
     return std::fclose(f) == 0;
 }
 
@@ -173,6 +265,16 @@ main(int argc, char **argv)
     }
     table.print();
 
+    // The memory-control-plane overload point.
+    const Point ovl = runOverloadPoint(smoke);
+    uint64_t ovl_peak = 0;
+    for (const TenantMem &tm : ovl.tenant_mem)
+        ovl_peak = std::max(ovl_peak, tm.hbm_peak_bytes);
+    std::printf("\noverload (8 MiB HBM, live admission + demotion): "
+                "%llu KPAs demoted, max tenant HBM peak %.1f MB\n",
+                static_cast<unsigned long long>(ovl.demoted_kpas),
+                static_cast<double>(ovl_peak) / 1e6);
+
     // Shape checks: admission must have run everyone, a lone tenant
     // cannot be unfair to itself, and fairness must hold at scale.
     bench::shapeCheck("all sweep points admitted every tenant", [&] {
@@ -187,8 +289,24 @@ main(int argc, char **argv)
                 return false;
         return true;
     }());
+    bench::shapeCheck("no demotion in the uncontended sweep", [&] {
+        for (const Point &p : points)
+            if (p.demoted_kpas != 0)
+                return false;
+        return true;
+    }());
+    bench::shapeCheck("overload point demotes cold KPAs",
+                      ovl.demoted_kpas > 0);
+    bench::shapeCheck("overload point drains every tenant",
+                      ovl.admitted == ovl.tenants);
+    bench::shapeCheck("per-tenant HBM occupancy accounted", [&] {
+        for (const TenantMem &tm : ovl.tenant_mem)
+            if (tm.hbm_peak_bytes == 0)
+                return false;
+        return true;
+    }());
 
-    if (!writeJson(out, points)) {
+    if (!writeJson(out, points, ovl)) {
         std::fprintf(stderr, "serve_report: cannot write %s\n",
                      out.c_str());
         return 1;

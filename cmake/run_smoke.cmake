@@ -1,8 +1,10 @@
 # Runs an example binary and checks exit status plus a key output line.
 # Usage: cmake -DEXE=<path> [-DARGS=<a;b;...>] -DPASS_REGEX=<regex>
-#              [-DFAIL_REGEX=<regex>] -P run_smoke.cmake
+#              [-DFAIL_REGEX=<regex>] [-DGOLDEN=<file>] -P run_smoke.cmake
 # FAIL_REGEX fails the test when it matches anywhere in stdout (e.g.
 # a figure bench printing a VIOLATED shape-check line).
+# GOLDEN fails the test unless stdout matches the file byte for byte
+# (pins bit-identical output, e.g. the default placement policy).
 if(NOT DEFINED EXE)
     message(FATAL_ERROR "run_smoke.cmake: EXE not set")
 endif()
@@ -26,4 +28,10 @@ if(DEFINED PASS_REGEX AND NOT out MATCHES "${PASS_REGEX}")
 endif()
 if(DEFINED FAIL_REGEX AND out MATCHES "${FAIL_REGEX}")
     message(FATAL_ERROR "smoke: output of ${EXE} matches fail pattern '${FAIL_REGEX}'")
+endif()
+if(DEFINED GOLDEN)
+    file(READ "${GOLDEN}" want)
+    if(NOT out STREQUAL want)
+        message(FATAL_ERROR "smoke: output of ${EXE} differs from golden ${GOLDEN}")
+    endif()
 endif()

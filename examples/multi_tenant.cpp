@@ -17,6 +17,15 @@
  * while everyone is running (queued, admitted once sessions drain),
  * and tenant 10 asks for more than the whole budget (rejected).
  *
+ * Part 2 demonstrates the memory control plane under overload: the
+ * same contending fleet on a machine whose HBM is scaled down so the
+ * tenants' window state overruns it. Run A is the baseline (knob
+ * only); run B enables the pressure director (live KPA demotion),
+ * gauge-aware live admission, and SLA-driven placement demotion. The
+ * DEMOTION lines check that run B demoted cold KPAs, that its
+ * sampled HBM high-water is strictly lower than run A's, and that
+ * every victim tenant still drained in full.
+ *
  * Build & run:
  *   cmake -B build -S . && cmake --build build -j
  *   ./build/examples/multi_tenant [records_scale]
@@ -25,6 +34,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
 #include "serve/load_driver.h"
@@ -34,6 +44,50 @@ using namespace sbhbm;
 using serve::Admission;
 using serve::TenantReport;
 using serve::TenantSpec;
+
+namespace {
+
+/** What one overload run leaves behind (part 2). */
+struct OverloadRun
+{
+    uint64_t demoted_kpas = 0;
+    double demoted_mb = 0;
+    double hbm_peak_mb = 0; //!< monitor-sampled peak HBM usage
+    uint64_t sla_demotions = 0;
+    bool all_drained = true;
+};
+
+/**
+ * The canonical overload scenario (serve::overloadServeConfig /
+ * serve::makeOverloadFleet — also serve_report's overload point):
+ * four contending sessions on a machine whose HBM holds less than
+ * their aggregate window state. @p control_plane switches on the
+ * pressure director, live-pressure admission and SLA demotion.
+ */
+OverloadRun
+runOverloadFleet(double scale, bool control_plane)
+{
+    serve::Server server(
+        serve::overloadServeConfig(/*cores=*/16, control_plane));
+    const auto records = static_cast<uint64_t>(150'000 * scale);
+    server.submitFleet(serve::makeOverloadFleet(records));
+    server.run();
+
+    OverloadRun r;
+    r.demoted_kpas = server.engine().director().demotedKpas();
+    r.demoted_mb =
+        static_cast<double>(server.engine().director().demotedBytes())
+        / 1e6;
+    r.hbm_peak_mb = server.engine().monitor().hbmUsedStat().max() / 1e6;
+    for (const TenantReport &rep : server.reports()) {
+        r.sla_demotions += rep.sla_demotions;
+        r.all_drained =
+            r.all_drained && rep.records == records;
+    }
+    return r;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -148,5 +202,33 @@ main(int argc, char **argv)
                 server.fairnessIndex());
     std::printf("verdict     : %s\n",
                 all_fair ? "fair-share ok" : "fair-share VIOLATED");
-    return all_fair ? 0 : 1;
+
+    // ---- Part 2: the memory control plane under overload ----------
+    std::printf("\n== overload: pressure-driven demotion "
+                "(HBM scaled to 8 MiB) ==\n");
+    const OverloadRun knob_only = runOverloadFleet(scale, false);
+    const OverloadRun plane = runOverloadFleet(scale, true);
+    std::printf("baseline (knob only)  : HBM peak %.1f MB, "
+                "0 demotions\n",
+                knob_only.hbm_peak_mb);
+    std::printf("control plane         : HBM peak %.1f MB, %" PRIu64
+                " KPAs demoted (%.1f MB), %" PRIu64
+                " SLA placement demotions\n",
+                plane.hbm_peak_mb, plane.demoted_kpas,
+                plane.demoted_mb, plane.sla_demotions);
+
+    const bool demoted = plane.demoted_kpas > 0;
+    const bool relieved = plane.hbm_peak_mb < knob_only.hbm_peak_mb;
+    const bool drained = knob_only.all_drained && plane.all_drained;
+    std::printf("DEMOTION  cold KPAs demoted under pressure: %s\n",
+                demoted ? "ok" : "VIOLATED");
+    std::printf("DEMOTION  HBM high-water strictly lower with the "
+                "control plane (%.1f < %.1f MB): %s\n",
+                plane.hbm_peak_mb, knob_only.hbm_peak_mb,
+                relieved ? "ok" : "VIOLATED");
+    std::printf("DEMOTION  victim tenants kept draining: %s\n",
+                drained ? "ok" : "VIOLATED");
+
+    const bool part2_ok = demoted && relieved && drained;
+    return all_fair && part2_ok ? 0 : 1;
 }

@@ -39,6 +39,9 @@ struct Placement
     mem::Tier tier = mem::Tier::kHbm;
     bool urgent = false;
 
+    /** Owning stream (tenant), for per-stream occupancy accounting. */
+    uint32_t stream = 0;
+
     /**
      * Grouping-state bytes per entry relative to a 16-byte pair: 1.0
      * for real KPAs; record_bytes/16 when grouping full records (the
@@ -98,6 +101,27 @@ class Kpa
 
     /** Tier the entries actually live on. */
     mem::Tier tier() const { return block_.tier; }
+
+    /** Size-class bytes this KPA charges its tier's gauge. */
+    uint64_t chargedBytes() const { return block_.charged_bytes; }
+
+    /**
+     * Bytes of the backing allocation — what a migration actually
+     * moves. Differs from bytes() by unused capacity and, in the
+     * NoKPA ablation, by the entry_scale factor (grouping state is
+     * whole records, not 16-byte pairs).
+     */
+    uint64_t allocatedBytes() const { return block_.bytes; }
+
+    /**
+     * Move the entries to tier @p t (the pressure director's demotion
+     * path). Capacity re-accounting is exact: the charged size-class
+     * bytes leave the old tier's gauge and land on the new one.
+     * Idempotent when already on @p t; false (KPA untouched) when the
+     * destination cannot take the block. The caller charges the
+     * migration traffic to its CostLog.
+     */
+    bool migrate(mem::Tier t) { return hm_.migrate(block_, t); }
 
     /** Append one entry (invalidates the sorted flag). */
     void
@@ -200,7 +224,7 @@ class Kpa
                                           * sizeof(KpEntry))
                       * std::max(place.entry_scale, 1.0)),
                   sizeof(KpEntry)),
-              place.tier, place.urgent)),
+              place.tier, place.urgent, place.stream)),
           capacity_(capacity)
     {
     }

@@ -122,6 +122,12 @@ namespace detail {
  */
 constexpr uint32_t kPrefetchAhead = 16;
 
+/**
+ * Entries below which partitionByRange's count/fill passes stay
+ * serial: forking the host pool costs more than the passes save.
+ */
+constexpr uint32_t kPartitionParallelMin = 1u << 16;
+
 /** Prefetch hint for a row about to be dereferenced (no-op elsewhere). */
 inline void
 prefetchRow(const uint64_t *row)
@@ -733,14 +739,54 @@ partitionByRange(Ctx ctx, const Kpa &src, uint64_t range_width,
         // rg - min_rg < 2^32, so uint32 wrap-around arithmetic on the
         // low bits reproduces the exact span offset at half the memo
         // traffic of full ranges.
+        //
+        // The memo, count and fill passes shard across the host pool
+        // on large inputs. Shards cover contiguous input slices; the
+        // fill pass places shard t's elements of a range exactly
+        // after shards 0..t-1's (exclusive prefix of per-shard
+        // counts), so partitions, their order, and every entry
+        // position are bit-identical to the serial passes at any
+        // thread count — and the charges below depend only on sizes.
         const FastDivider by_width(range_width);
         const auto rg_lo = std::make_unique_for_overwrite<uint32_t[]>(n);
         uint64_t min_rg = ~uint64_t{0}, max_rg = 0;
-        for (uint32_t i = 0; i < n; ++i) {
-            const uint64_t rg = by_width.divide(e[i].key);
-            rg_lo[i] = static_cast<uint32_t>(rg);
-            min_rg = std::min(min_rg, rg);
-            max_rg = std::max(max_rg, rg);
+
+        WorkerPool *pool = ctx.pool;
+        const uint32_t shards =
+            (pool != nullptr && pool->threads() > 1
+             && n >= detail::kPartitionParallelMin)
+                ? pool->threads()
+                : 1;
+        auto shard_lo = [n, shards](uint32_t s) {
+            return static_cast<uint32_t>(uint64_t{n} * s / shards);
+        };
+
+        if (shards > 1) {
+            std::vector<uint64_t> mins(shards, ~uint64_t{0});
+            std::vector<uint64_t> maxs(shards, 0);
+            pool->parallelFor(shards, [&](uint32_t s) {
+                uint64_t mn = ~uint64_t{0}, mx = 0;
+                const uint32_t hi = shard_lo(s + 1);
+                for (uint32_t i = shard_lo(s); i < hi; ++i) {
+                    const uint64_t rg = by_width.divide(e[i].key);
+                    rg_lo[i] = static_cast<uint32_t>(rg);
+                    mn = std::min(mn, rg);
+                    mx = std::max(mx, rg);
+                }
+                mins[s] = mn;
+                maxs[s] = mx;
+            });
+            for (uint32_t s = 0; s < shards; ++s) {
+                min_rg = std::min(min_rg, mins[s]);
+                max_rg = std::max(max_rg, maxs[s]);
+            }
+        } else {
+            for (uint32_t i = 0; i < n; ++i) {
+                const uint64_t rg = by_width.divide(e[i].key);
+                rg_lo[i] = static_cast<uint32_t>(rg);
+                min_rg = std::min(min_rg, rg);
+                max_rg = std::max(max_rg, rg);
+            }
         }
         // Gate on extent = span - 1 so the full-keyspace case
         // (max - min == 2^64 - 1) cannot wrap span to 0, and require
@@ -753,8 +799,32 @@ partitionByRange(Ctx ctx, const Kpa &src, uint64_t range_width,
             // through direct-indexed cursor arrays — no hashing.
             const auto min_lo = static_cast<uint32_t>(min_rg);
             std::vector<uint32_t> count_by_rg(span, 0);
-            for (uint32_t i = 0; i < n; ++i)
-                ++count_by_rg[rg_lo[i] - min_lo];
+            std::vector<std::vector<uint32_t>> shard_counts;
+            if (shards > 1) {
+                shard_counts.assign(shards,
+                                    std::vector<uint32_t>(span, 0));
+                pool->parallelFor(shards, [&](uint32_t s) {
+                    std::vector<uint32_t> &c = shard_counts[s];
+                    const uint32_t hi = shard_lo(s + 1);
+                    for (uint32_t i = shard_lo(s); i < hi; ++i)
+                        ++c[rg_lo[i] - min_lo];
+                });
+                // Exclusive prefix across shards per range: shard t's
+                // slice of range sp starts at the sum of earlier
+                // shards' counts — the serial input order, sliced.
+                for (uint64_t sp = 0; sp < span; ++sp) {
+                    uint32_t sum = 0;
+                    for (uint32_t s = 0; s < shards; ++s) {
+                        const uint32_t c = shard_counts[s][sp];
+                        shard_counts[s][sp] = sum;
+                        sum += c;
+                    }
+                    count_by_rg[sp] = sum;
+                }
+            } else {
+                for (uint32_t i = 0; i < n; ++i)
+                    ++count_by_rg[rg_lo[i] - min_lo];
+            }
             std::vector<KpEntry *> cursor(span, nullptr);
             for (uint64_t s = 0; s < span; ++s) {
                 if (count_by_rg[s] == 0)
@@ -763,8 +833,22 @@ partitionByRange(Ctx ctx, const Kpa &src, uint64_t range_width,
                     min_rg + s, count_by_rg[s]); // ascending ranges
                 cursor[s] = part->appendCursor();
             }
-            for (uint32_t i = 0; i < n; ++i)
-                *cursor[rg_lo[i] - min_lo]++ = e[i];
+            if (shards > 1) {
+                pool->parallelFor(shards, [&](uint32_t s) {
+                    std::vector<KpEntry *> cur(span, nullptr);
+                    const std::vector<uint32_t> &base = shard_counts[s];
+                    for (uint64_t sp = 0; sp < span; ++sp) {
+                        if (cursor[sp] != nullptr)
+                            cur[sp] = cursor[sp] + base[sp];
+                    }
+                    const uint32_t hi = shard_lo(s + 1);
+                    for (uint32_t i = shard_lo(s); i < hi; ++i)
+                        *cur[rg_lo[i] - min_lo]++ = e[i];
+                });
+            } else {
+                for (uint32_t i = 0; i < n; ++i)
+                    *cursor[rg_lo[i] - min_lo]++ = e[i];
+            }
             for (auto &rp : out)
                 rp.part->commitAppend(count_by_rg[rp.range - min_rg]);
         } else {

@@ -22,6 +22,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
+#include <map>
 
 #include "common/logging.h"
 #include "mem/capacity_gauge.h"
@@ -41,6 +43,7 @@ struct Block
     uint64_t bytes = 0;        //!< requested size
     uint64_t charged_bytes = 0; //!< size-class size charged to the gauge
     Tier tier = Tier::kDram;   //!< tier actually granted
+    uint32_t stream = 0;       //!< owning stream (tenant); 0 = default
 
     explicit operator bool() const { return ptr != nullptr; }
 };
@@ -81,9 +84,11 @@ class HybridMemory
      * In cache / DRAM-only mode everything is DRAM-resident.
      *
      * @param urgent may dip into the HBM urgent reserve.
+     * @param stream owning stream (tenant) for per-stream occupancy.
      */
     Block
-    alloc(uint64_t bytes, Tier want, bool urgent = false)
+    alloc(uint64_t bytes, Tier want, bool urgent = false,
+          uint32_t stream = 0)
     {
         sbhbm_assert(bytes > 0, "zero-byte allocation");
         Tier tier = want;
@@ -107,6 +112,8 @@ class HybridMemory
         b.bytes = bytes;
         b.charged_bytes = charged;
         b.tier = tier;
+        b.stream = stream;
+        chargeStream(stream, tier, charged);
         return b;
     }
 
@@ -118,7 +125,45 @@ class HybridMemory
             return;
         slabs_[sim::tierIndex(b.tier)].free(b.ptr, b.bytes);
         mutableGauge(b.tier).release(b.charged_bytes);
+        releaseStream(b.stream, b.tier, b.charged_bytes);
         b = Block{};
+    }
+
+    /**
+     * Move a live block to tier @p to: reserve capacity there, copy
+     * the payload, release the old tier. The charged size-class bytes
+     * are conserved exactly — what the source gauge releases is what
+     * the destination gauge charged — and per-stream occupancy moves
+     * with the block. The memory-control-plane demotion path (KPA
+     * HBM -> DRAM under capacity pressure) runs through here.
+     *
+     * @return true when the block now lives on @p to. Migrating a
+     * block already on @p to is an idempotent no-op (true); failure
+     * to reserve on the destination leaves the block untouched
+     * (false). Only flat mode has two addressable tiers to migrate
+     * between.
+     */
+    bool
+    migrate(Block &b, Tier to, bool urgent = false)
+    {
+        if (!b)
+            return false;
+        if (b.tier == to)
+            return true;
+        if (mode_ != sim::MemoryMode::kFlat)
+            return false;
+        if (!mutableGauge(to).tryReserve(b.charged_bytes, urgent))
+            return false;
+
+        void *np = slabs_[sim::tierIndex(to)].alloc(b.bytes);
+        std::memcpy(np, b.ptr, b.bytes);
+        slabs_[sim::tierIndex(b.tier)].free(b.ptr, b.bytes);
+        mutableGauge(b.tier).release(b.charged_bytes);
+        releaseStream(b.stream, b.tier, b.charged_bytes);
+        chargeStream(b.stream, to, b.charged_bytes);
+        b.ptr = np;
+        b.tier = to;
+        return true;
     }
 
     /**
@@ -178,6 +223,30 @@ class HybridMemory
         return gauges_[sim::tierIndex(t)];
     }
 
+    /** Start a new windowed high-water period on @p t's gauge. */
+    void markHighWater(Tier t) { mutableGauge(t).markHighWater(); }
+
+    /** Charged bytes @p stream currently holds on @p t. */
+    uint64_t
+    streamUsed(uint32_t stream, Tier t) const
+    {
+        if (stream == 0)
+            return stream0_.used[sim::tierIndex(t)];
+        auto it = streams_.find(stream);
+        return it == streams_.end() ? 0
+                                    : it->second.used[sim::tierIndex(t)];
+    }
+
+    /** Peak charged HBM bytes @p stream ever held (occupancy audit). */
+    uint64_t
+    streamHbmHighWater(uint32_t stream) const
+    {
+        if (stream == 0)
+            return stream0_.hbm_high_water;
+        auto it = streams_.find(stream);
+        return it == streams_.end() ? 0 : it->second.hbm_high_water;
+    }
+
     /** @return true if a non-urgent HBM allocation of @p bytes fits. */
     bool
     hbmHasRoom(uint64_t bytes) const
@@ -205,16 +274,54 @@ class HybridMemory
     }
 
   private:
+    /** Per-stream (tenant) occupancy, in charged size-class bytes. */
+    struct StreamUsage
+    {
+        uint64_t used[sim::kNumTiers] = {0, 0};
+        uint64_t hbm_high_water = 0;
+    };
+
     CapacityGauge &
     mutableGauge(Tier t)
     {
         return gauges_[sim::tierIndex(t)];
     }
 
+    void
+    chargeStream(uint32_t stream, Tier t, uint64_t charged)
+    {
+        // Stream 0 (every single-pipeline run, and all bundle
+        // allocations) stays off the map: alloc/free are hot enough
+        // that this file carries a slab allocator, and the default
+        // stream should not pay a tree lookup per allocation.
+        StreamUsage &su = stream == 0 ? stream0_ : streams_[stream];
+        su.used[sim::tierIndex(t)] += charged;
+        if (t == Tier::kHbm)
+            su.hbm_high_water = std::max(
+                su.hbm_high_water, su.used[sim::tierIndex(Tier::kHbm)]);
+    }
+
+    void
+    releaseStream(uint32_t stream, Tier t, uint64_t charged)
+    {
+        StreamUsage *su = &stream0_;
+        if (stream != 0) {
+            auto it = streams_.find(stream);
+            sbhbm_assert(it != streams_.end(),
+                         "stream %u tier accounting underflow", stream);
+            su = &it->second;
+        }
+        sbhbm_assert(su->used[sim::tierIndex(t)] >= charged,
+                     "stream %u tier accounting underflow", stream);
+        su->used[sim::tierIndex(t)] -= charged;
+    }
+
     const sim::MachineConfig &cfg_;
     sim::MemoryMode mode_;
     CapacityGauge gauges_[sim::kNumTiers];
     SlabAllocator slabs_[sim::kNumTiers];
+    StreamUsage stream0_;
+    std::map<uint32_t, StreamUsage> streams_;
 };
 
 } // namespace sbhbm::mem

@@ -8,6 +8,13 @@
  * and appends output rows; the operator charges the Table 2 "Keyed"
  * reduction costs (sequential KPA scan, random value-column loads,
  * output emission).
+ *
+ * Memory control plane: the sorted runs a KeyedAggOp accumulates per
+ * window are exactly the long-lived HBM state the pressure director
+ * targets — the SortedRunsOp base exposes every run beyond the target
+ * watermark's window through Operator::coldState(), so under HBM
+ * capacity pressure cold aggregation state is demoted to DRAM while
+ * the window about to close keeps its HBM residency.
  */
 
 #ifndef SBHBM_PIPELINE_AGGREGATIONS_H

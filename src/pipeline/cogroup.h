@@ -131,7 +131,7 @@ class CogroupOp : public Operator
                     auto merged_pair = kpa::merge(
                         ctx, *runs[runs.size() - 2],
                         *runs[runs.size() - 1],
-                        eng_.placeKpa(
+                        placeKpa(
                             ImpactTag::kUrgent,
                             (uint64_t{runs[runs.size() - 2]->size()}
                              + runs[runs.size() - 1]->size())

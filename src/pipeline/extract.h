@@ -35,7 +35,7 @@ class ExtractOp : public Operator
         spawnTracked(tag, [this, tag, msg = std::move(msg)](
                               sim::CostLog &log, Emitter &em) mutable {
             auto ctx = makeCtx(log, msg.bundle->cols());
-            const auto place = eng_.placeKpa(
+            const auto place = placeKpa(
                 tag,
                 uint64_t{msg.bundle->size()} * sizeof(columnar::KpEntry));
             auto out = kpa::extract(ctx, *msg.bundle, key_col_, place);

@@ -30,6 +30,7 @@
 #include "common/logging.h"
 #include "common/unique_function.h"
 #include "kpa/primitives.h"
+#include "mem/pressure_director.h"
 #include "pipeline/message.h"
 #include "pipeline/pipeline.h"
 #include "runtime/executor.h"
@@ -38,8 +39,16 @@ namespace sbhbm::pipeline {
 
 using columnar::Watermark;
 
-/** Base class of all pipeline operators. */
-class Operator
+/**
+ * Base class of all pipeline operators.
+ *
+ * Every operator is also a ColdStateProvider registered with the
+ * engine's PressureDirector: operators that accumulate window-state
+ * KPAs override coldState() to expose the demotable ones (coldest
+ * first), and the base class handles the actual migration plus
+ * traffic charging when the director asks for HBM relief.
+ */
+class Operator : public mem::ColdStateProvider
 {
   public:
     /** Output collector passed to task bodies. */
@@ -62,13 +71,51 @@ class Operator
     {
         sbhbm_assert(num_ports >= 1 && num_ports <= 2,
                      "1 or 2 input ports supported");
+        eng_.director().registerProvider(this);
     }
 
-    virtual ~Operator() = default;
+    ~Operator() override { eng_.director().unregisterProvider(this); }
     Operator(const Operator &) = delete;
     Operator &operator=(const Operator &) = delete;
 
     const std::string &name() const { return name_; }
+
+    /** Stream (tenant) this operator's state is accounted to. */
+    uint32_t providerStream() const override { return pipe_.streamId(); }
+
+    /**
+     * Demote cold window-state KPAs (coldState() order) to DRAM until
+     * ~@p want_charged_bytes of HBM gauge capacity is freed, charging
+     * the migration traffic: stream the entries out of the source
+     * tier, write-allocate them on the destination.
+     */
+    mem::DemoteResult
+    demoteColdState(uint64_t want_charged_bytes,
+                    sim::CostLog &log) override
+    {
+        mem::DemoteResult res;
+        for (kpa::Kpa *k : coldState()) {
+            if (res.charged_bytes >= want_charged_bytes)
+                break;
+            if (k->tier() != mem::Tier::kHbm)
+                continue;
+            const uint64_t charged = k->chargedBytes();
+            // Charge what the migration actually moves: the backing
+            // allocation — entry_scale times larger than bytes() when
+            // grouping state is full records (the NoKPA ablation).
+            const uint64_t bytes = k->allocatedBytes();
+            if (!k->migrate(mem::Tier::kDram))
+                continue; // destination full: keep the KPA where it is
+            eng_.memory().charge(log, mem::Tier::kHbm,
+                                 sim::AccessPattern::kSequential, bytes);
+            eng_.memory().charge(log, mem::Tier::kDram,
+                                 sim::AccessPattern::kSequential,
+                                 2 * bytes);
+            res.charged_bytes += charged;
+            ++res.kpas;
+        }
+        return res;
+    }
 
 
     /** Wire this operator's output to @p down's input @p port. */
@@ -109,6 +156,16 @@ class Operator
   protected:
     /** React to a data message (spawn tasks via spawnTracked). */
     virtual void process(Msg msg, int port) = 0;
+
+    /**
+     * Window-state KPAs the pressure director may demote to DRAM,
+     * coldest (furthest from externalization) first. Only state off
+     * the close critical path may appear here: the director runs
+     * between tasks, so returned KPAs must be quiescent (held
+     * accumulation state, not inputs of in-flight tasks). Stateless
+     * operators keep the default: nothing to demote.
+     */
+    virtual std::vector<kpa::Kpa *> coldState() { return {}; }
 
     /**
      * The aligned watermark advanced AND every task spawned before it
@@ -169,6 +226,17 @@ class Operator
 
     /** Impact tag for data whose earliest timestamp is @p ts. */
     ImpactTag classify(EventTime ts) const { return pipe_.classify(ts); }
+
+    /**
+     * Placement for a new KPA of this operator, tagged with the
+     * pipeline's stream so per-tenant occupancy accounting and
+     * placement classes apply.
+     */
+    kpa::Placement
+    placeKpa(ImpactTag tag, uint64_t bytes_hint) const
+    {
+        return eng_.placeKpa(tag, bytes_hint, pipe_.streamId());
+    }
 
     /** Primitive context charging to @p log with the right scale. */
     kpa::Ctx

@@ -48,7 +48,7 @@ class FilterOp : public Operator
         spawnTracked(tag, [this, tag, msg = std::move(msg)](
                               sim::CostLog &log, Emitter &em) mutable {
             auto ctx = makeCtx(log, msg.bundle->cols());
-            const auto place = eng_.placeKpa(
+            const auto place = placeKpa(
                 tag, uint64_t{msg.bundle->size()} * sizeof(kpa::KpEntry));
             auto out = kpa::selectFromBundle(ctx, *msg.bundle, key_col_,
                                              pred_, place);
@@ -85,7 +85,7 @@ class KpaFilterOp : public Operator
         spawnTracked(tag, [this, tag, msg = std::move(msg)](
                               sim::CostLog &log, Emitter &em) mutable {
             auto ctx = makeCtx(log, msg.kpa->recordCols());
-            const auto place = eng_.placeKpa(
+            const auto place = placeKpa(
                 tag, uint64_t{msg.kpa->size()} * sizeof(kpa::KpEntry));
             auto out = kpa::selectFromKpa(ctx, *msg.kpa, pred_, place);
             if (!out->empty()) {

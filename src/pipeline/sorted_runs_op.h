@@ -119,6 +119,30 @@ class SortedRunsOp : public Operator
     /** Windows currently accumulating state. */
     size_t openWindows() const { return state_.size(); }
 
+    /**
+     * Demotion candidates for the pressure director: the sorted runs
+     * of every window *beyond* the target watermark's, coldest
+     * (highest window id, i.e. furthest from closing) first. The
+     * target window's runs stay put — they are about to be merged by
+     * Urgent tasks and demoting them would tax the critical path.
+     * Runs in state_ are quiescent between tasks (accumulated, not
+     * captured by in-flight closures), which is what makes them safe
+     * to migrate from the monitor tick.
+     */
+    std::vector<kpa::Kpa *>
+    coldState() override
+    {
+        std::vector<kpa::Kpa *> cold;
+        const columnar::WindowId hot = pipe_.targetWindow();
+        for (auto it = state_.rbegin(); it != state_.rend(); ++it) {
+            if (it->first <= hot)
+                break;
+            for (const kpa::KpaPtr &k : it->second)
+                cold.push_back(k.get());
+        }
+        return cold;
+    }
+
   private:
     using Runs = std::vector<kpa::KpaPtr>;
     using MergeDone = std::function<void(kpa::KpaPtr)>;
@@ -187,7 +211,7 @@ class SortedRunsOp : public Operator
                     auto ctx = makeCtx(log, recordColsOf(**a));
                     *slot = kpa::merge(
                         ctx, **a, **b,
-                        eng_.placeKpa(ImpactTag::kUrgent,
+                        placeKpa(ImpactTag::kUrgent,
                                       uint64_t{(*a)->size() + (*b)->size()}
                                           * sizeof(kpa::KpEntry)));
                 },
@@ -202,7 +226,7 @@ class SortedRunsOp : public Operator
         const uint32_t slices = std::min<uint32_t>(
             eng_.exec().cores(),
             (total + kSliceThreshold - 1) / kSliceThreshold);
-        kpa::Placement out_place = eng_.placeKpa(
+        kpa::Placement out_place = placeKpa(
             ImpactTag::kUrgent, uint64_t{total} * sizeof(kpa::KpEntry));
         if (!eng_.useKpa()) {
             out_place.entry_scale =

@@ -80,7 +80,7 @@ class TemporalJoinOp : public Operator
                     classify(pipe_.windows().start(w));
                 mine = kpa::merge(
                     ctx, *mine, *msg.kpa,
-                    eng_.placeKpa(state_tag,
+                    placeKpa(state_tag,
                                   (uint64_t{mine->size()}
                                    + msg.kpa->size())
                                       * sizeof(kpa::KpEntry)));
@@ -99,6 +99,28 @@ class TemporalJoinOp : public Operator
             else
                 ++it;
         }
+    }
+
+    /**
+     * Demotion candidates: both sides' accumulated state of windows
+     * beyond the target watermark's, coldest first. A demoted side is
+     * still probed/merged by later arrivals (the join reads charge
+     * the tier the KPA actually lives on), so a victim stream keeps
+     * draining — at DRAM speed.
+     */
+    std::vector<kpa::Kpa *>
+    coldState() override
+    {
+        std::vector<kpa::Kpa *> cold;
+        const columnar::WindowId hot = pipe_.targetWindow();
+        for (auto it = state_.rbegin(); it != state_.rend(); ++it) {
+            if (it->first <= hot)
+                break;
+            for (const kpa::KpaPtr &side : it->second.side)
+                if (side != nullptr)
+                    cold.push_back(side.get());
+        }
+        return cold;
     }
 
   private:

@@ -73,7 +73,7 @@ class WindowedFilterOp : public Operator
                         auto survivors = kpa::selectFromKpa(
                             ctx, **kpa_shared,
                             [avg](uint64_t v) { return v > avg; },
-                            eng_.placeKpa(ImpactTag::kUrgent,
+                            placeKpa(ImpactTag::kUrgent,
                                           (*kpa_shared)->bytes()));
                         if (!survivors->empty()) {
                             BundleHandle out =

@@ -40,7 +40,7 @@ class WindowOp : public Operator
             kpa::Kpa &k = *msg.kpa;
             kpa::keySwap(ctx, k, ts_col_);
 
-            const auto place = eng_.placeKpa(
+            const auto place = placeKpa(
                 tag, uint64_t{k.size()} * sizeof(kpa::KpEntry));
             auto parts = kpa::partitionByRange(ctx, k, spec.width, place);
             for (auto &rp : parts) {

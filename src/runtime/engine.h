@@ -25,6 +25,8 @@
 #include "common/units.h"
 #include "kpa/kpa.h"
 #include "mem/hybrid_memory.h"
+#include "mem/placement_policy.h"
+#include "mem/pressure_director.h"
 #include "runtime/balance_knob.h"
 #include "runtime/executor.h"
 #include "runtime/impact_tag.h"
@@ -60,6 +62,13 @@ struct EngineConfig
     /** Enable the dynamic {k_low, k_high} placement knob. */
     bool use_knob = true;
 
+    /**
+     * Pressure-driven demotion of cold window-state KPAs (the memory
+     * control plane's feedback loop). Disabled by default: the knob
+     * alone reproduces the paper's placement behavior exactly.
+     */
+    mem::PressureConfig pressure{};
+
     /** Target output delay (paper: 1 second). */
     SimTime target_delay = kNsPerSec;
 
@@ -83,8 +92,10 @@ class Engine
     explicit Engine(EngineConfig cfg)
         : cfg_(cfg), machine_(cfg.machine), hm_(machine_.config(), cfg.mode),
           exec_(machine_, cfg.cores), rng_(cfg.seed),
+          knob_policy_(hm_, knob_, rng_, cfg.use_knob),
+          director_(hm_, cfg.pressure),
           monitor_(machine_, hm_, knob_, [this] { return delayHeadroomOk(); },
-                   cfg.monitor_period)
+                   cfg.monitor_period, &director_)
     {
         if (cfg.host_threads != 0)
             exec_.setHostThreads(cfg.host_threads);
@@ -103,25 +114,48 @@ class Engine
     bool useKpa() const { return cfg_.use_kpa; }
 
     /**
-     * Decide the placement of a new KPA for a task tagged @p tag —
-     * the paper's "single control knob" (§1). Urgent tasks always
-     * get HBM (reserved pool); others flip the knob's weighted coin,
-     * falling back to DRAM when HBM has no non-reserved room.
+     * Decide the placement of a new KPA for a task tagged @p tag on
+     * @p stream, by consulting the installed PlacementPolicy. The
+     * default KnobPlacementPolicy is the paper's "single control
+     * knob" (§1): Urgent tasks always get HBM (reserved pool); others
+     * flip the knob's weighted coin, falling back to DRAM when HBM
+     * has no non-reserved room.
      */
     kpa::Placement
-    placeKpa(ImpactTag tag, uint64_t bytes_hint)
+    placeKpa(ImpactTag tag, uint64_t bytes_hint, StreamId stream = 0)
     {
-        if (cfg_.mode != sim::MemoryMode::kFlat)
-            return kpa::Placement{mem::Tier::kDram, false};
-        if (tag == ImpactTag::kUrgent)
-            return kpa::Placement{mem::Tier::kHbm, true};
-
-        const bool want_hbm =
-            cfg_.use_knob ? knob_.preferHbm(tag, rng_) : true;
-        if (want_hbm && hm_.hbmHasRoom(bytes_hint))
-            return kpa::Placement{mem::Tier::kHbm, false};
-        return kpa::Placement{mem::Tier::kDram, false};
+        const mem::PlacementPolicy::Decision d =
+            placement_policy_->place(tag, bytes_hint, stream);
+        kpa::Placement p;
+        p.tier = d.tier;
+        p.urgent = d.urgent;
+        p.stream = stream;
+        return p;
     }
+
+    /** The installed placement policy (default: the knob wrapper). */
+    mem::PlacementPolicy &placementPolicy() { return *placement_policy_; }
+
+    /**
+     * Install a placement policy (non-owning; caller keeps it alive).
+     * nullptr restores the default knob-driven policy.
+     */
+    void
+    setPlacementPolicy(mem::PlacementPolicy *p)
+    {
+        placement_policy_ = p != nullptr ? p : &knob_policy_;
+    }
+
+    /** Bias @p stream's placement (serving-layer SLA demotion). */
+    void
+    setStreamPlacementClass(StreamId stream, mem::PlacementClass c)
+    {
+        placement_policy_->setStreamClass(stream, c);
+    }
+
+    /** The pressure director (cold-state demotion control loop). */
+    mem::PressureDirector &director() { return director_; }
+    const mem::PressureDirector &director() const { return director_; }
 
     /** Record one per-window output delay (drives knob headroom). */
     void
@@ -263,6 +297,9 @@ class Engine
     Executor exec_;
     BalanceKnob knob_;
     Rng rng_;
+    mem::KnobPlacementPolicy knob_policy_;
+    mem::PlacementPolicy *placement_policy_ = &knob_policy_;
+    mem::PressureDirector director_;
     ResourceMonitor monitor_;
     SampleSet delays_;
     SimTime last_delay_ = 0;

@@ -18,6 +18,7 @@
 #include "common/stats.h"
 #include "common/units.h"
 #include "mem/hybrid_memory.h"
+#include "mem/pressure_director.h"
 #include "runtime/balance_knob.h"
 #include "sim/machine.h"
 
@@ -32,6 +33,9 @@ struct ResourceSample
     double dram_bw = 0;    //!< bytes/sec over the last interval
     double k_low = 1.0;
     double k_high = 1.0;
+
+    /** Cumulative gauge bytes the pressure director demoted. */
+    uint64_t demoted_bytes = 0;
 };
 
 /** Periodic sampler driving the balance knob. */
@@ -41,11 +45,19 @@ class ResourceMonitor
     /** Returns true when output delay has >= 10% headroom. */
     using HeadroomFn = std::function<bool()>;
 
+    /**
+     * @param director optional pressure director ticked right after
+     *        the knob refresh; its migration traffic is charged to
+     *        the machine (DMA-style: consumes tier bandwidth, no
+     *        core slot).
+     */
     ResourceMonitor(sim::Machine &machine, mem::HybridMemory &hm,
                     BalanceKnob &knob, HeadroomFn headroom,
-                    SimTime period = 10 * kNsPerMs)
+                    SimTime period = 10 * kNsPerMs,
+                    mem::PressureDirector *director = nullptr)
         : machine_(machine), hm_(hm), knob_(knob),
-          headroom_(std::move(headroom)), period_(period)
+          headroom_(std::move(headroom)), period_(period),
+          director_(director)
     {
     }
 
@@ -108,6 +120,17 @@ class ResourceMonitor
         s.k_low = knob_.kLow();
         s.k_high = knob_.kHigh();
 
+        // Pressure feedback: the knob only steers future allocations;
+        // the director reclaims HBM *now* by demoting cold state. Its
+        // migration traffic consumes tier bandwidth in virtual time
+        // without occupying a core slot (DMA-style copy).
+        if (director_ != nullptr) {
+            sim::CostLog migration = director_->tick();
+            if (!migration.empty())
+                machine_.execute(std::move(migration), [] {});
+            s.demoted_bytes = director_->demotedBytes();
+        }
+
         samples_.push_back(s);
         dram_bw_stat_.add(s.dram_bw);
         hbm_bw_stat_.add(s.hbm_bw);
@@ -124,6 +147,7 @@ class ResourceMonitor
     BalanceKnob &knob_;
     HeadroomFn headroom_;
     SimTime period_;
+    mem::PressureDirector *director_;
     bool running_ = false;
 
     SimTime last_t_ = 0;

@@ -24,6 +24,7 @@
 #include "common/rng.h"
 #include "common/units.h"
 #include "queries/query.h"
+#include "serve/server.h"
 #include "serve/tenant.h"
 
 namespace sbhbm::serve {
@@ -118,6 +119,77 @@ makeFleet(const FleetConfig &cfg)
         if (cfg.arrival_span > 0)
             arrival += static_cast<SimTime>(mean_gap * rng.nextExp());
         t.arrives_at = arrival;
+        fleet.push_back(std::move(t));
+    }
+    return fleet;
+}
+
+// -------------------------------------------------------------------
+// The canonical memory-control-plane overload scenario, shared by
+// examples/multi_tenant (part 2) and bench/serve_report's overload
+// point so the demo and the recorded numbers can never drift apart.
+// -------------------------------------------------------------------
+
+/**
+ * Serving config whose HBM is scaled down so the overload fleet's
+ * open-window KPA state overruns it. @p control_plane additionally
+ * enables the pressure director, gauge-aware live admission and
+ * SLA-driven placement demotion; false is the knob-only baseline.
+ *
+ * Sizing rules the constants obey (violating either wedges sessions
+ * on the ingestion deadlock guard): with delayed watermarks the
+ * idle-watermark escape is off, so the per-tenant *soft*
+ * back-pressure cap (2/3 of the tenant budget) must cover the
+ * watermark gap plus a window's worth of slack, and the global soft
+ * threshold (a third of engine.max_inflight_bundles) must clear the
+ * sum of the per-tenant budgets — the per-tenant caps are the
+ * intended binding constraint.
+ */
+inline ServeConfig
+overloadServeConfig(unsigned cores, bool control_plane)
+{
+    ServeConfig cfg;
+    cfg.engine.machine = sim::MachineConfig::knl();
+    // Scarce HBM: the fleet's open-window KPA state (~10 MB+)
+    // overruns 8 MiB, so placement pressure is guaranteed.
+    cfg.engine.machine.hbm.capacity_bytes = 8ull << 20;
+    cfg.engine.cores = cores;
+    cfg.engine.max_inflight_bundles = 2048; // soft 682 > 4 x 160
+    cfg.engine.target_delay = 20 * kNsPerMs; // tight SLA in overload
+    cfg.window_ns = 10 * kNsPerMs;
+    cfg.admission.hbm_budget_bytes = 8ull << 20;
+    if (control_plane) {
+        cfg.engine.pressure.enabled = true;
+        cfg.admission.mode = AdmissionMode::kLivePressure;
+        cfg.sla_demotion = true;
+    }
+    return cfg;
+}
+
+/**
+ * Four identical SumPerKey sessions for overloadServeConfig():
+ * 2 M rec/s each in 5000-record bundles (4 bundles per 10 ms window,
+ * so event time really spans windows), watermarks delayed to every 50
+ * bundles so many windows of sorted runs stay open at once — the cold
+ * state the pressure director demotes.
+ */
+inline std::vector<TenantSpec>
+makeOverloadFleet(uint64_t records_per_tenant)
+{
+    std::vector<TenantSpec> fleet;
+    for (uint32_t i = 1; i <= 4; ++i) {
+        TenantSpec t;
+        t.id = i;
+        t.name = "ovl-" + std::to_string(i);
+        t.weight = 1.0;
+        t.query = queries::QueryId::kSumPerKey;
+        t.total_records = records_per_tenant;
+        t.bundle_records = 5'000;
+        t.offered_rate = 2e6;
+        t.poisson_arrivals = true;
+        t.hbm_reserve_bytes = 2ull << 20;
+        t.bundles_per_watermark = 50;
+        t.max_inflight_bundles = 160; // soft 106 > gap 50 + slack
         fleet.push_back(std::move(t));
     }
     return fleet;

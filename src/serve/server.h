@@ -56,12 +56,23 @@ struct ServeConfig
     /**
      * Admission limits. An hbm_budget_bytes of 0 derives the default:
      * half the machine's HBM (DRAM when the machine has none).
+     * admission.mode selects static-reservation vs live-pressure
+     * headroom; live mode samples the engine HBM gauge's windowed
+     * high-water each admission tick.
      */
     AdmissionConfig admission{0, 64, 64};
 
     /** Install the weighted fair scheduler (false = the legacy
      *  tag-priority FIFO, for A/B comparison). */
     bool fair_share = true;
+
+    /**
+     * Demote an SLA-breaching tenant's placement class to DRAM-lean
+     * (its non-urgent KPAs stop competing for HBM) until its
+     * latencies recover — the serving half of the memory control
+     * plane's feedback loop.
+     */
+    bool sla_demotion = false;
 };
 
 /** What one session did, filled when it drains. */
@@ -98,6 +109,18 @@ struct TenantReport
 
     /** Task slots granted by the fair scheduler. */
     uint64_t served_slots = 0;
+
+    // Memory-control-plane accounting.
+
+    /** Peak charged HBM occupancy of this tenant's KPAs, bytes. */
+    uint64_t hbm_peak_bytes = 0;
+
+    /** KPAs / gauge bytes the pressure director demoted to DRAM. */
+    uint64_t demoted_kpas = 0;
+    uint64_t demoted_bytes = 0;
+
+    /** Times the SLA loop demoted this tenant's placement class. */
+    uint64_t sla_demotions = 0;
 };
 
 /** One engine serving N tenants. */
@@ -110,6 +133,16 @@ class Server
     {
         if (cfg_.fair_share)
             eng_.exec().setDispatchPolicy(&sched_);
+        if (cfg_.admission.mode == AdmissionMode::kLivePressure) {
+            // Gauge-aware admission: headroom is the windowed
+            // high-water of the tier sessions actually allocate on,
+            // not the sum of paper reservations.
+            registry_.setLivePressure([this] {
+                return eng_.memory()
+                    .gauge(pressureTier())
+                    .highWaterSinceMark();
+            });
+        }
     }
 
     Server(const Server &) = delete;
@@ -160,6 +193,8 @@ class Server
         }
 
         eng_.monitor().start();
+        if (cfg_.admission.mode == AdmissionMode::kLivePressure)
+            admissionTick();
         eng_.machine().run();
 
         sbhbm_assert(tenants_.empty(), "sessions still running at drain");
@@ -225,9 +260,14 @@ class Server
     fillDefaults(ServeConfig cfg)
     {
         if (cfg.admission.hbm_budget_bytes == 0) {
+            // Budget over the tier sessions actually allocate on:
+            // HBM only in flat mode (cache / DRAM-only modes place
+            // everything in DRAM).
             const auto &m = cfg.engine.machine;
-            const uint64_t pool = m.hasHbm() ? m.hbm.capacity_bytes
-                                             : m.dram.capacity_bytes;
+            const uint64_t pool =
+                cfg.engine.mode == sim::MemoryMode::kFlat && m.hasHbm()
+                    ? m.hbm.capacity_bytes
+                    : m.dram.capacity_bytes;
             cfg.admission.hbm_budget_bytes = std::max<uint64_t>(
                 1, pool / 2);
         }
@@ -275,6 +315,36 @@ class Server
         eng_.machine().after(kNsPerMs, [this, id = spec.id] { poll(id); });
     }
 
+    /**
+     * Periodic admission pump (live-pressure mode only): admit
+     * waiters that now fit under the measured pressure, then open a
+     * fresh high-water window on the gauge. Daemon-scheduled: the
+     * machine drains when sessions do.
+     */
+    void
+    admissionTick()
+    {
+        for (const TenantSpec &next : registry_.pumpAdmission())
+            start(next);
+        eng_.memory().markHighWater(pressureTier());
+        eng_.machine().after(
+            cfg_.engine.monitor_period, [this] { admissionTick(); },
+            /*daemon=*/true);
+    }
+
+    /** Tier live admission watches: where sessions' KPAs land.
+     *  Outside flat mode every allocation is DRAM-resident, so the
+     *  HBM gauge would sit at zero forever and live admission would
+     *  silently wave everyone through. */
+    mem::Tier
+    pressureTier() const
+    {
+        return cfg_.engine.mode == sim::MemoryMode::kFlat
+                       && cfg_.engine.machine.hasHbm()
+                   ? mem::Tier::kHbm
+                   : mem::Tier::kDram;
+    }
+
     void
     poll(runtime::StreamId id)
     {
@@ -283,6 +353,20 @@ class Server
                      id);
         Tenant &t = *it->second;
         t.sla().observe(t.pipe());
+        if (cfg_.sla_demotion) {
+            // SLA feedback into placement: a breaching tenant's
+            // non-urgent KPAs go DRAM-lean until it recovers.
+            const bool want = t.sla().breached();
+            bool &demoted = demoted_class_[id];
+            if (want != demoted) {
+                demoted = want;
+                eng_.setStreamPlacementClass(
+                    id, want ? mem::PlacementClass::kDramLean
+                             : mem::PlacementClass::kNormal);
+                if (want)
+                    ++reports_[id].sla_demotions;
+            }
+        }
         if (!t.drained()) {
             eng_.machine().after(kNsPerMs, [this, id] { poll(id); });
             return;
@@ -321,11 +405,25 @@ class Server
         rep.dram_bytes = ss.dram_bytes;
         rep.served_slots = sched_.served(id);
 
+        rep.hbm_peak_bytes = eng_.memory().streamHbmHighWater(id);
+        rep.demoted_kpas = eng_.director().demotedKpas(id);
+        rep.demoted_bytes = eng_.director().demotedBytes(id);
+
         // Session teardown: free the pipeline, drop the per-tenant
-        // budget, then hand the reservation back — which may admit
-        // waiting sessions right now, at this virtual time.
+        // budget and any placement demotion, then hand the
+        // reservation back — which may admit waiting sessions right
+        // now, at this virtual time.
         tenants_.erase(id);
         eng_.setStreamBudget(id, 0);
+        if (cfg_.sla_demotion && demoted_class_[id]) {
+            eng_.setStreamPlacementClass(id, mem::PlacementClass::kNormal);
+            demoted_class_[id] = false;
+        }
+        // A teardown is a step change in usage: restart the pressure
+        // window so the departed session's peak does not keep blocking
+        // admission until the next tick.
+        if (cfg_.admission.mode == AdmissionMode::kLivePressure)
+            eng_.memory().markHighWater(pressureTier());
         for (const TenantSpec &next : registry_.release(id))
             start(next);
     }
@@ -337,6 +435,7 @@ class Server
     std::vector<TenantSpec> pending_;
     std::map<runtime::StreamId, std::unique_ptr<Tenant>> tenants_;
     std::map<runtime::StreamId, TenantReport> reports_;
+    std::map<runtime::StreamId, bool> demoted_class_;
     std::vector<TenantReport> report_list_;
     bool ran_ = false;
 };

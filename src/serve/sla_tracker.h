@@ -52,8 +52,19 @@ class SlaTracker
                 continue;
             const SimTime lat = e.at > end ? e.at - end : 0;
             latencies_.add(simToSeconds(lat));
-            if (lat > target_delay_)
+            if (lat > target_delay_) {
                 ++violations_;
+                if (!breached_) {
+                    breached_ = true;
+                    ++breaches_;
+                }
+                ok_streak_ = 0;
+            } else if (breached_) {
+                if (++ok_streak_ >= recover_after_) {
+                    breached_ = false;
+                    ok_streak_ = 0;
+                }
+            }
         }
     }
 
@@ -64,6 +75,27 @@ class SlaTracker
 
     /** Windows whose latency exceeded the target. */
     uint64_t violations() const { return violations_; }
+
+    // ---------------------------------------------------------------
+    // Breach hysteresis (drives serving-layer placement demotion).
+    // A violation puts the tenant in breach; it recovers only after
+    // recover_after consecutive in-target windows — so one bad
+    // window demotes decisively while one good window does not
+    // flap the placement class right back.
+    // ---------------------------------------------------------------
+
+    /** Consecutive in-target windows needed to clear a breach. */
+    void
+    setRecoveryWindows(uint32_t n)
+    {
+        recover_after_ = n > 0 ? n : 1;
+    }
+
+    /** Currently violating the SLA (with recovery hysteresis). */
+    bool breached() const { return breached_; }
+
+    /** Times the tenant *entered* breach (demotion episodes). */
+    uint64_t breaches() const { return breaches_; }
 
     /** Watermark latency percentile, seconds (0 when no windows). */
     double p50() const { return latencies_.percentile(50); }
@@ -80,6 +112,10 @@ class SlaTracker
     SampleSet latencies_;
     uint64_t violations_ = 0;
     size_t cursor_ = 0;
+    bool breached_ = false;
+    uint64_t breaches_ = 0;
+    uint32_t ok_streak_ = 0;
+    uint32_t recover_after_ = 4;
 };
 
 } // namespace sbhbm::serve

@@ -75,6 +75,16 @@ struct TenantSpec
     /** Per-tenant in-flight bundle budget (private back-pressure). */
     uint32_t max_inflight_bundles = 32;
 
+    /**
+     * Watermark cadence: 0 = one per window boundary (default); k > 0
+     * emits one every k bundles, delaying window closure so the
+     * session holds several windows of KPA state open at once — the
+     * long-lived cold state the pressure director demotes. Must stay
+     * below max_inflight_bundles or the session deadlocks (windows
+     * can only close on a watermark).
+     */
+    uint32_t bundles_per_watermark = 0;
+
     /** Virtual time the session arrives at the admission controller. */
     SimTime arrives_at = 0;
 
@@ -112,6 +122,7 @@ class Tenant
         scfg.total_records = spec_.total_records;
         scfg.offered_rate = spec_.offered_rate;
         scfg.poisson_arrivals = spec_.poisson_arrivals;
+        scfg.bundles_per_watermark = spec_.bundles_per_watermark;
         scfg.arrival_seed = seed ^ 0x9e3779b97f4a7c15ULL;
 
         src_a_ = std::make_unique<ingest::Source>(

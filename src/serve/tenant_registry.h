@@ -4,13 +4,18 @@
  *
  * The scarce resource admission guards is HBM capacity: every session
  * declares an HBM reservation (working-set estimate for its windows'
- * KPAs) and the controller admits sessions only while the aggregate
- * reservation of running sessions fits the serving budget — a
- * CapacityGauge over the slice of HBM the operator dedicates to
- * serving. Sessions that do not fit wait in an arrival-ordered queue
- * and are admitted as running sessions drain; sessions that can never
- * fit (reservation larger than the whole budget) or that arrive to a
- * full queue are rejected outright.
+ * KPAs) and the controller admits sessions only while there is
+ * headroom under the serving budget. Headroom comes from one of two
+ * sources (AdmissionMode): the aggregate *static reservation* of
+ * running sessions (a CapacityGauge over the slice of HBM the
+ * operator dedicates to serving), or the *live pressure* the server
+ * samples from the engine's HBM gauge — the control-plane mode where
+ * admission reacts to what sessions actually allocate rather than
+ * what they promised. Sessions that do not fit wait in an
+ * arrival-ordered queue and are admitted as running sessions drain
+ * (or, live mode, as measured pressure recedes); sessions that can
+ * never fit (reservation larger than the whole budget) or that arrive
+ * to a full queue are rejected outright.
  *
  * The registry tracks identity and accounting only; instantiating a
  * session's pipeline is the Server's job (via the admission results
@@ -22,7 +27,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
@@ -30,6 +37,23 @@
 #include "serve/tenant.h"
 
 namespace sbhbm::serve {
+
+/**
+ * How admission headroom is computed.
+ *
+ * kStaticReservation is the original contract: each session charges
+ * its declared reservation against the budget for its whole lifetime,
+ * whether it uses the bytes or not. kLivePressure admits against the
+ * *measured* HBM gauge instead — the windowed high-water the server
+ * samples from the engine's memory — so a fleet whose declared
+ * reservations overstate its live working set packs more sessions
+ * onto the same budget, and a pressure spike (gauge high-water) holds
+ * arrivals back even when paper reservations say there is room.
+ */
+enum class AdmissionMode : uint8_t {
+    kStaticReservation = 0,
+    kLivePressure = 1,
+};
 
 /** Admission controller limits. */
 struct AdmissionConfig
@@ -42,6 +66,9 @@ struct AdmissionConfig
 
     /** Waiting sessions beyond which new arrivals are rejected. */
     uint32_t max_queued = 64;
+
+    /** Headroom source (static reservations vs live gauge). */
+    AdmissionMode mode = AdmissionMode::kStaticReservation;
 };
 
 /** Outcome of offering a session to the admission controller. */
@@ -75,6 +102,17 @@ class TenantRegistry
 
     TenantRegistry(const TenantRegistry &) = delete;
     TenantRegistry &operator=(const TenantRegistry &) = delete;
+
+    /**
+     * Live HBM pressure source for AdmissionMode::kLivePressure,
+     * in bytes (the server wires the engine gauge's windowed
+     * high-water). Unset, live mode degrades to zero pressure —
+     * admission then gates on max_active and the can-never-fit
+     * check only.
+     */
+    using LivePressureFn = std::function<uint64_t()>;
+
+    void setLivePressure(LivePressureFn fn) { live_ = std::move(fn); }
 
     /**
      * Offer a session for admission. Admitted sessions charge their
@@ -116,13 +154,34 @@ class TenantRegistry
         auto it = reserved_.find(id);
         sbhbm_assert(it != reserved_.end(),
                      "releasing unknown tenant %u", id);
-        gauge_.release(it->second);
+        if (cfg_.mode == AdmissionMode::kStaticReservation)
+            gauge_.release(it->second);
         reserved_.erase(it);
         sbhbm_assert(active_ > 0, "active session underflow");
         --active_;
+        return pumpAdmission();
+    }
 
+    /**
+     * Admit as many waiting sessions as now fit (arrival order,
+     * head-of-line blocking preserved). Called on every release; in
+     * live-pressure mode the server also calls it periodically, since
+     * headroom there reappears when the gauge drains — not only when
+     * a session releases its reservation. @return the admitted specs.
+     */
+    std::vector<TenantSpec>
+    pumpAdmission()
+    {
+        // In live mode every waiter would otherwise be judged against
+        // the same stale gauge sample: accumulate the reserves
+        // admitted by *this* pump into the headroom term, so one pump
+        // cannot land an unbounded burst of declared working sets on
+        // a tier whose measured pressure has not caught up yet.
+        uint64_t pumped_reserve = 0;
         std::vector<TenantSpec> admitted;
-        while (!waiting_.empty() && tryAdmit(waiting_.front())) {
+        while (!waiting_.empty()
+               && tryAdmit(waiting_.front(), pumped_reserve)) {
+            pumped_reserve += waiting_.front().hbm_reserve_bytes;
             admitted.push_back(waiting_.front());
             waiting_.pop_front();
         }
@@ -134,17 +193,34 @@ class TenantRegistry
     uint64_t rejected() const { return rejected_; }
     uint64_t everAdmitted() const { return ever_admitted_; }
 
-    /** The admission gauge (reserved bytes vs budget). */
+    /** The admission gauge (reserved bytes vs budget; static mode). */
     const mem::CapacityGauge &gauge() const { return gauge_; }
 
+    /** Current live pressure, bytes (0 without a source). */
+    uint64_t livePressure() const { return live_ ? live_() : 0; }
+
   private:
+    /**
+     * @param pumped_reserve reserves of sessions already admitted by
+     *        the current pumpAdmission() sweep, counted as pressure
+     *        the gauge has not measured yet.
+     */
     bool
-    tryAdmit(const TenantSpec &spec)
+    tryAdmit(const TenantSpec &spec, uint64_t pumped_reserve = 0)
     {
         if (active_ >= cfg_.max_active)
             return false;
-        if (!gauge_.tryReserve(spec.hbm_reserve_bytes, /*urgent=*/false))
-            return false;
+        if (cfg_.mode == AdmissionMode::kLivePressure) {
+            // Gauge-aware admission: measured pressure plus this
+            // session's declared working set must fit the budget.
+            if (livePressure() + pumped_reserve + spec.hbm_reserve_bytes
+                > cfg_.hbm_budget_bytes)
+                return false;
+        } else {
+            if (!gauge_.tryReserve(spec.hbm_reserve_bytes,
+                                   /*urgent=*/false))
+                return false;
+        }
         reserved_[spec.id] = spec.hbm_reserve_bytes;
         ++active_;
         ++ever_admitted_;
@@ -162,6 +238,7 @@ class TenantRegistry
 
     AdmissionConfig cfg_;
     mem::CapacityGauge gauge_;
+    LivePressureFn live_;
     std::map<runtime::StreamId, uint64_t> reserved_;
     std::deque<TenantSpec> waiting_;
     uint32_t active_ = 0;

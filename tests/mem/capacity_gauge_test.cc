@@ -51,6 +51,53 @@ TEST(CapacityGauge, HighWaterTracksPeakUsage)
     EXPECT_EQ(g.highWater(), 900u);
 }
 
+TEST(CapacityGauge, UrgentReserveExactBoundary)
+{
+    // The urgent reserve's edges, one byte at a time: non-urgent may
+    // reach exactly capacity - reserve, urgent exactly capacity.
+    CapacityGauge g(1000, 100);
+    EXPECT_TRUE(g.tryReserve(899, false));
+    EXPECT_TRUE(g.tryReserve(1, false)); // lands exactly on 900
+    EXPECT_FALSE(g.tryReserve(1, false));
+    EXPECT_TRUE(g.tryReserve(99, true));
+    EXPECT_TRUE(g.tryReserve(1, true)); // lands exactly on 1000
+    EXPECT_FALSE(g.tryReserve(1, true));
+    // Releasing one byte re-opens urgent (but not non-urgent) room.
+    g.release(1);
+    EXPECT_FALSE(g.tryReserve(1, false));
+    EXPECT_TRUE(g.tryReserve(1, true));
+}
+
+TEST(CapacityGauge, ReserveEqualToCapacityLeavesUrgentOnly)
+{
+    CapacityGauge g(1000, 1000);
+    EXPECT_FALSE(g.tryReserve(1, false));
+    EXPECT_FALSE(g.hasRoom(1));
+    EXPECT_TRUE(g.tryReserve(1000, true));
+}
+
+TEST(CapacityGauge, WindowedHighWaterDecaysOnMark)
+{
+    // The live-pressure admission signal: peak usage *since the last
+    // mark*, unlike highWater() which never decays.
+    CapacityGauge g(1000, 0);
+    g.tryReserve(700, false);
+    g.release(650);
+    EXPECT_EQ(g.highWaterSinceMark(), 700u);
+    EXPECT_EQ(g.highWater(), 700u);
+
+    g.markHighWater(); // new window starts at current usage (50)
+    EXPECT_EQ(g.highWaterSinceMark(), 50u);
+    EXPECT_EQ(g.highWater(), 700u) << "monotonic high-water unaffected";
+
+    g.tryReserve(300, false);
+    g.release(300);
+    EXPECT_EQ(g.highWaterSinceMark(), 350u)
+        << "burst within the window must be remembered";
+    g.markHighWater();
+    EXPECT_EQ(g.highWaterSinceMark(), 50u);
+}
+
 TEST(CapacityGauge, ZeroCapacityGaugeRejectsEverything)
 {
     CapacityGauge g(0, 0);

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Migration accounting of the memory control plane: tier-to-tier
+ * block moves conserve charged bytes exactly, double migration is
+ * idempotent, a full destination leaves the block untouched, and
+ * per-stream occupancy follows the block across tiers.
+ */
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "mem/hybrid_memory.h"
+#include "sim/machine_config.h"
+
+namespace sbhbm::mem {
+namespace {
+
+using sim::MachineConfig;
+using sim::MemoryMode;
+
+MachineConfig
+tinyConfig(uint64_t hbm = 1_MiB, uint64_t dram = 64_MiB)
+{
+    auto cfg = MachineConfig::knl();
+    cfg.hbm.capacity_bytes = hbm;
+    cfg.dram.capacity_bytes = dram;
+    return cfg;
+}
+
+TEST(Migration, ConservesChargedBytesAcrossTiers)
+{
+    auto cfg = tinyConfig();
+    HybridMemory hm(cfg, MemoryMode::kFlat);
+    Block b = hm.alloc(5000, Tier::kHbm); // charged rounds to 8192
+    const uint64_t charged = b.charged_bytes;
+    EXPECT_EQ(hm.gauge(Tier::kHbm).used(), charged);
+    EXPECT_EQ(hm.gauge(Tier::kDram).used(), 0u);
+
+    ASSERT_TRUE(hm.migrate(b, Tier::kDram));
+    EXPECT_EQ(b.tier, Tier::kDram);
+    EXPECT_EQ(b.charged_bytes, charged) << "class size must not change";
+    EXPECT_EQ(hm.gauge(Tier::kHbm).used(), 0u);
+    EXPECT_EQ(hm.gauge(Tier::kDram).used(), charged);
+
+    // And back up.
+    ASSERT_TRUE(hm.migrate(b, Tier::kHbm));
+    EXPECT_EQ(hm.gauge(Tier::kHbm).used(), charged);
+    EXPECT_EQ(hm.gauge(Tier::kDram).used(), 0u);
+    hm.free(b);
+    EXPECT_EQ(hm.gauge(Tier::kHbm).used(), 0u);
+}
+
+TEST(Migration, PreservesPayloadBytes)
+{
+    auto cfg = tinyConfig();
+    HybridMemory hm(cfg, MemoryMode::kFlat);
+    Block b = hm.alloc(4096, Tier::kHbm);
+    std::memset(b.ptr, 0xa5, 4096);
+    ASSERT_TRUE(hm.migrate(b, Tier::kDram));
+    const auto *p = static_cast<const unsigned char *>(b.ptr);
+    for (int i = 0; i < 4096; ++i)
+        ASSERT_EQ(p[i], 0xa5) << "payload corrupted at byte " << i;
+    hm.free(b);
+}
+
+TEST(Migration, DoubleMigrateIsIdempotent)
+{
+    auto cfg = tinyConfig();
+    HybridMemory hm(cfg, MemoryMode::kFlat);
+    Block b = hm.alloc(4096, Tier::kHbm);
+    ASSERT_TRUE(hm.migrate(b, Tier::kDram));
+    void *ptr_after_first = b.ptr;
+    const uint64_t dram_used = hm.gauge(Tier::kDram).used();
+
+    // Migrating to the tier the block is already on changes nothing.
+    EXPECT_TRUE(hm.migrate(b, Tier::kDram));
+    EXPECT_EQ(b.ptr, ptr_after_first);
+    EXPECT_EQ(b.tier, Tier::kDram);
+    EXPECT_EQ(hm.gauge(Tier::kDram).used(), dram_used);
+    EXPECT_EQ(hm.gauge(Tier::kHbm).used(), 0u);
+    hm.free(b);
+}
+
+/** Fill HBM until a 64 KiB non-urgent allocation no longer fits. */
+std::vector<Block>
+fillHbm(HybridMemory &hm)
+{
+    std::vector<Block> filler;
+    for (;;) {
+        Block f = hm.alloc(64_KiB, Tier::kHbm);
+        if (f.tier == Tier::kDram) {
+            hm.free(f);
+            return filler;
+        }
+        filler.push_back(f);
+    }
+}
+
+TEST(Migration, FullDestinationLeavesBlockUntouched)
+{
+    auto cfg = tinyConfig();
+    HybridMemory hm(cfg, MemoryMode::kFlat);
+    Block d = hm.alloc(64_KiB, Tier::kDram);
+    std::vector<Block> filler = fillHbm(hm);
+
+    void *old_ptr = d.ptr;
+    const uint64_t dram_used = hm.gauge(Tier::kDram).used();
+    EXPECT_FALSE(hm.migrate(d, Tier::kHbm));
+    EXPECT_EQ(d.tier, Tier::kDram) << "failed migrate must not move";
+    EXPECT_EQ(d.ptr, old_ptr);
+    EXPECT_EQ(hm.gauge(Tier::kDram).used(), dram_used);
+
+    // The urgent reserve is available to urgent migrations, exactly
+    // like urgent allocations (1 MiB HBM, 5% reserve, 15 x 64 KiB
+    // filler: exactly one more urgent 64 KiB class fits).
+    EXPECT_TRUE(hm.migrate(d, Tier::kHbm, /*urgent=*/true));
+    EXPECT_EQ(d.tier, Tier::kHbm);
+    hm.free(d);
+    for (Block &f : filler)
+        hm.free(f);
+}
+
+TEST(Migration, RejectedOutsideFlatMode)
+{
+    auto cfg = tinyConfig();
+    HybridMemory hm(cfg, MemoryMode::kCache);
+    Block b = hm.alloc(4096, Tier::kHbm); // lands on DRAM in cache mode
+    EXPECT_EQ(b.tier, Tier::kDram);
+    EXPECT_FALSE(hm.migrate(b, Tier::kHbm));
+    hm.free(b);
+}
+
+TEST(Migration, NullBlockRejected)
+{
+    auto cfg = tinyConfig();
+    HybridMemory hm(cfg, MemoryMode::kFlat);
+    Block none;
+    EXPECT_FALSE(hm.migrate(none, Tier::kDram));
+}
+
+TEST(Migration, StreamOccupancyFollowsTheBlock)
+{
+    auto cfg = tinyConfig();
+    HybridMemory hm(cfg, MemoryMode::kFlat);
+    Block a = hm.alloc(8192, Tier::kHbm, /*urgent=*/false, /*stream=*/7);
+    Block b = hm.alloc(4096, Tier::kHbm, /*urgent=*/false, /*stream=*/9);
+    EXPECT_EQ(hm.streamUsed(7, Tier::kHbm), 8192u);
+    EXPECT_EQ(hm.streamUsed(9, Tier::kHbm), 4096u);
+    EXPECT_EQ(hm.streamUsed(7, Tier::kDram), 0u);
+
+    ASSERT_TRUE(hm.migrate(a, Tier::kDram));
+    EXPECT_EQ(hm.streamUsed(7, Tier::kHbm), 0u);
+    EXPECT_EQ(hm.streamUsed(7, Tier::kDram), 8192u);
+    EXPECT_EQ(hm.streamUsed(9, Tier::kHbm), 4096u) << "other stream moved";
+
+    // High-water is per stream and survives the demotion.
+    EXPECT_EQ(hm.streamHbmHighWater(7), 8192u);
+    EXPECT_EQ(hm.streamHbmHighWater(9), 4096u);
+
+    hm.free(a);
+    hm.free(b);
+    EXPECT_EQ(hm.streamUsed(7, Tier::kDram), 0u);
+    EXPECT_EQ(hm.streamUsed(9, Tier::kHbm), 0u);
+    EXPECT_EQ(hm.streamHbmHighWater(7), 8192u) << "high-water persists";
+}
+
+TEST(Migration, SpillFallbackStillTagsStream)
+{
+    // An HBM request that spills to DRAM accounts to the stream on
+    // the tier it actually landed on.
+    auto cfg = tinyConfig();
+    HybridMemory hm(cfg, MemoryMode::kFlat);
+    std::vector<Block> filler = fillHbm(hm);
+    Block spilled =
+        hm.alloc(256_KiB, Tier::kHbm, /*urgent=*/false, /*stream=*/3);
+    EXPECT_EQ(spilled.tier, Tier::kDram);
+    EXPECT_EQ(hm.streamUsed(3, Tier::kDram), 256_KiB);
+    EXPECT_EQ(hm.streamUsed(3, Tier::kHbm), 0u);
+    EXPECT_EQ(hm.streamHbmHighWater(3), 0u);
+    for (Block &f : filler)
+        hm.free(f);
+    hm.free(spilled);
+}
+
+} // namespace
+} // namespace sbhbm::mem

@@ -114,6 +114,129 @@ TEST(TenantRegistry, MaxActiveCapsConcurrency)
     EXPECT_EQ(admitted[0].id, 3u);
 }
 
+// -------------------------------------------------------------------
+// Live-pressure admission (the gauge-aware control-plane mode).
+// -------------------------------------------------------------------
+
+AdmissionConfig
+liveBudget(uint64_t bytes, uint32_t max_active = 64,
+           uint32_t max_queued = 64)
+{
+    return AdmissionConfig{bytes, max_active, max_queued,
+                           AdmissionMode::kLivePressure};
+}
+
+TEST(TenantRegistryLive, AdmitsOnMeasuredPressureNotReservations)
+{
+    // Static reservations sum to 3x the budget, but measured pressure
+    // is low: live mode packs all three sessions in where the static
+    // mode would queue two.
+    uint64_t pressure = 10_MiB;
+    TenantRegistry reg(liveBudget(100_MiB));
+    reg.setLivePressure([&pressure] { return pressure; });
+    EXPECT_EQ(reg.offer(spec(1, 80_MiB)), Admission::kAdmitted);
+    EXPECT_EQ(reg.offer(spec(2, 80_MiB)), Admission::kAdmitted);
+    EXPECT_EQ(reg.offer(spec(3, 80_MiB)), Admission::kAdmitted);
+    EXPECT_EQ(reg.active(), 3u);
+}
+
+TEST(TenantRegistryLive, HighPressureQueuesAndPumpAdmits)
+{
+    uint64_t pressure = 70_MiB;
+    TenantRegistry reg(liveBudget(100_MiB));
+    reg.setLivePressure([&pressure] { return pressure; });
+    EXPECT_EQ(reg.offer(spec(1, 20_MiB)), Admission::kAdmitted);
+    // 70 + 40 > 100: waits for the gauge to recede.
+    EXPECT_EQ(reg.offer(spec(2, 40_MiB)), Admission::kQueued);
+    EXPECT_EQ(reg.queued(), 1u);
+
+    // Pressure drops a little: still no room, pump admits nobody.
+    pressure = 65_MiB;
+    EXPECT_TRUE(reg.pumpAdmission().empty());
+
+    // Pressure recedes enough: the pump admits the waiter with no
+    // release having happened — headroom in live mode comes from the
+    // gauge, not from reservations handed back.
+    pressure = 55_MiB;
+    auto admitted = reg.pumpAdmission();
+    ASSERT_EQ(admitted.size(), 1u);
+    EXPECT_EQ(admitted[0].id, 2u);
+    EXPECT_EQ(reg.queued(), 0u);
+    EXPECT_EQ(reg.active(), 2u);
+}
+
+TEST(TenantRegistryLive, HeadOfLinePreservedUnderPressure)
+{
+    uint64_t pressure = 90_MiB;
+    TenantRegistry reg(liveBudget(100_MiB));
+    reg.setLivePressure([&pressure] { return pressure; });
+    EXPECT_EQ(reg.offer(spec(1, 5_MiB)), Admission::kAdmitted);
+    EXPECT_EQ(reg.offer(spec(2, 40_MiB)), Admission::kQueued);
+    // Would fit right now, but 2 is ahead: must queue behind it.
+    EXPECT_EQ(reg.offer(spec(3, 5_MiB)), Admission::kQueued);
+    pressure = 50_MiB;
+    auto admitted = reg.pumpAdmission();
+    ASSERT_EQ(admitted.size(), 2u);
+    EXPECT_EQ(admitted[0].id, 2u);
+    EXPECT_EQ(admitted[1].id, 3u);
+}
+
+TEST(TenantRegistryLive, ReleaseStillPumpsAndNeverTouchesGauge)
+{
+    uint64_t pressure = 95_MiB;
+    TenantRegistry reg(liveBudget(100_MiB));
+    reg.setLivePressure([&pressure] { return pressure; });
+    EXPECT_EQ(reg.offer(spec(1, 4_MiB)), Admission::kAdmitted);
+    EXPECT_EQ(reg.offer(spec(2, 30_MiB)), Admission::kQueued);
+    EXPECT_EQ(reg.gauge().used(), 0u)
+        << "live mode accounts on the machine gauge, not this one";
+
+    // The drain drops measured pressure; release() pumps the queue.
+    pressure = 20_MiB;
+    auto admitted = reg.release(1);
+    ASSERT_EQ(admitted.size(), 1u);
+    EXPECT_EQ(admitted[0].id, 2u);
+    EXPECT_EQ(reg.active(), 1u);
+    reg.release(2);
+    EXPECT_EQ(reg.active(), 0u);
+}
+
+TEST(TenantRegistryLive, OnePumpCannotOverAdmitAgainstStaleSample)
+{
+    // Pressure recedes once; many waiters are queued. A single pump
+    // judges them against the same gauge sample, so the reserves it
+    // admits must accumulate into the headroom term — the pump stops
+    // when declared working sets fill the budget, instead of
+    // admitting everyone against the stale low reading.
+    uint64_t pressure = 90_MiB;
+    TenantRegistry reg(liveBudget(100_MiB));
+    reg.setLivePressure([&pressure] { return pressure; });
+    EXPECT_EQ(reg.offer(spec(1, 5_MiB)), Admission::kAdmitted);
+    for (runtime::StreamId id = 2; id <= 11; ++id)
+        EXPECT_EQ(reg.offer(spec(id, 20_MiB)), Admission::kQueued);
+
+    pressure = 10_MiB;
+    auto admitted = reg.pumpAdmission();
+    // 10 + 20 + 20 + 20 + 20 <= 100, but a fifth 20 MiB would not fit.
+    ASSERT_EQ(admitted.size(), 4u);
+    EXPECT_EQ(reg.queued(), 6u);
+
+    // The next pump re-reads the gauge; with pressure unchanged it
+    // admits nobody further (the previous admits' state now shows up
+    // in the measured pressure, not in a stale sample).
+    pressure = 85_MiB;
+    EXPECT_TRUE(reg.pumpAdmission().empty());
+}
+
+TEST(TenantRegistryLive, CanNeverFitStillRejected)
+{
+    uint64_t pressure = 0;
+    TenantRegistry reg(liveBudget(100_MiB));
+    reg.setLivePressure([&pressure] { return pressure; });
+    EXPECT_EQ(reg.offer(spec(1, 101_MiB)), Admission::kRejected);
+    EXPECT_EQ(reg.rejected(), 1u);
+}
+
 TEST(TenantRegistry, ZeroReservationAlwaysFitsBudget)
 {
     TenantRegistry reg(budget(1));

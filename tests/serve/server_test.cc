@@ -271,5 +271,91 @@ TEST(Server, SlaTrackerCountsViolations)
     EXPECT_GE(r.p99_s, r.p50_s);
 }
 
+TEST(ServerPressure, LiveAdmissionPacksOverstatedReservations)
+{
+    // Reservations sum far past the budget, but the sessions' real
+    // working sets are small: static mode serializes the fleet
+    // (queues), live mode admits everyone up front.
+    auto makeCfg = [](AdmissionMode mode) {
+        ServeConfig cfg = smallConfig();
+        cfg.admission = AdmissionConfig{64_MiB, 64, 64, mode};
+        return cfg;
+    };
+    auto fleet = [] {
+        std::vector<TenantSpec> v;
+        for (runtime::StreamId id = 1; id <= 4; ++id) {
+            TenantSpec t = smallTenant(id);
+            t.hbm_reserve_bytes = 30_MiB; // 4 x 30 > 64 MiB budget
+            v.push_back(t);
+        }
+        return v;
+    };
+
+    Server stat(makeCfg(AdmissionMode::kStaticReservation));
+    stat.submitFleet(fleet());
+    stat.run();
+    uint64_t queued_static = 0;
+    for (const TenantReport &r : stat.reports())
+        queued_static += r.was_queued ? 1 : 0;
+    EXPECT_GE(queued_static, 2u) << "static mode must serialize";
+
+    Server live(makeCfg(AdmissionMode::kLivePressure));
+    live.submitFleet(fleet());
+    live.run();
+    for (const TenantReport &r : live.reports()) {
+        EXPECT_EQ(r.admission, Admission::kAdmitted);
+        EXPECT_FALSE(r.was_queued)
+            << "live pressure is low: tenant " << r.spec.id
+            << " must not wait on paper reservations";
+        EXPECT_EQ(r.records, 40'000u);
+    }
+}
+
+TEST(ServerPressure, LiveAdmissionReportsOccupancy)
+{
+    ServeConfig cfg = smallConfig();
+    cfg.admission.mode = AdmissionMode::kLivePressure;
+    Server server(cfg);
+    server.submit(smallTenant(1));
+    server.run();
+    const TenantReport &r = server.reports()[0];
+    EXPECT_EQ(r.admission, Admission::kAdmitted);
+    EXPECT_GT(r.hbm_peak_bytes, 0u)
+        << "per-tenant occupancy must be accounted";
+    EXPECT_EQ(r.demoted_kpas, 0u) << "no pressure, no demotion";
+}
+
+TEST(ServerPressure, SlaDemotionEngagesAndSessionsDrain)
+{
+    // Unmeetable SLA + demotion on: breaching tenants get their
+    // placement class demoted (sla_demotions counts episodes), and
+    // every session still drains fully.
+    ServeConfig cfg = smallConfig();
+    cfg.engine.cores = 1;
+    cfg.engine.target_delay = 100 * kNsPerUs; // unmeetable
+    cfg.sla_demotion = true;
+    Server server(cfg);
+    server.submit(smallTenant(1));
+    server.submit(smallTenant(2));
+    server.run();
+
+    uint64_t demotion_episodes = 0;
+    for (const TenantReport &r : server.reports()) {
+        EXPECT_EQ(r.records, 40'000u) << "demoted tenants keep draining";
+        demotion_episodes += r.sla_demotions;
+    }
+    EXPECT_GT(demotion_episodes, 0u);
+
+    // Deterministic: the same fleet reproduces the same episodes.
+    Server again(cfg);
+    again.submit(smallTenant(1));
+    again.submit(smallTenant(2));
+    again.run();
+    uint64_t episodes_again = 0;
+    for (const TenantReport &r : again.reports())
+        episodes_again += r.sla_demotions;
+    EXPECT_EQ(episodes_again, demotion_episodes);
+}
+
 } // namespace
 } // namespace sbhbm::serve
