@@ -1,6 +1,7 @@
 /**
  * @file
- * Serving-layer benchmark: tenant-count sweep on one engine.
+ * Serving-layer benchmark: tenant-count sweep on one engine, plus a
+ * shard-count sweep on the sharded fleet.
  *
  * For each fleet size N the load driver builds a deterministic
  * hot/cold tenant mix (25% hot at 4x weight, Poisson bundle
@@ -11,12 +12,20 @@
  * admission counters, and per-tenant memory-control-plane accounting
  * (peak HBM occupancy, demotion counts). A final overload point runs
  * a scarce-HBM fleet with the pressure director + live admission
- * enabled so the demotion path shows real numbers. Written to
- * BENCH_serve.json (schema sbhbm-serve-v2) for the CI artifact.
+ * enabled so the demotion path shows real numbers.
+ *
+ * The shard sweep scales one large fleet (256 sessions in full mode)
+ * across 1..8 engine shards: per point it reports fleet throughput,
+ * pooled latency percentiles, fairness, host wall-clock, and a
+ * per-shard breakdown (sessions placed, tasks completed, records) —
+ * with the accounting identity "each executor completed exactly its
+ * residents' tasks" checked as a shape test. Written to
+ * BENCH_serve.json (schema sbhbm-serve-v3) for the CI artifact.
  *
  * Usage: serve_report [--smoke] [--out <path>]
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -33,7 +42,7 @@ using serve::TenantReport;
 
 namespace {
 
-/** Core slots every sweep point's engine uses. */
+/** Core slots every sweep point's engine (shard) uses. */
 constexpr unsigned kCores = 16;
 
 struct TenantMem
@@ -160,6 +169,111 @@ runOverloadPoint(bool smoke)
     return p;
 }
 
+// -------------------------------------------------------------------
+// Shard sweep
+// -------------------------------------------------------------------
+
+struct ShardRow
+{
+    uint32_t shard = 0;
+    uint32_t tenants = 0;
+    uint64_t tasks = 0;
+    uint64_t records = 0;
+};
+
+struct ShardPoint
+{
+    uint32_t shards = 0;
+    uint32_t tenants = 0;
+    double aggregate_mrps = 0;
+    double p50_s = 0;
+    double p99_s = 0;
+    double fairness = 0;
+    uint64_t admitted = 0;
+    uint64_t rejected = 0;
+    uint64_t records = 0;
+    double wall_ms = 0; //!< host wall-clock of run(), milliseconds
+    bool accounting_ok = true;
+    std::vector<ShardRow> rows;
+};
+
+/**
+ * One shard-sweep point: the same N-session hot/cold fleet (short
+ * sessions — the point is placement and accounting at scale, not
+ * long drains) served by @p shards engine shards.
+ */
+ShardPoint
+runShardPoint(uint32_t tenants, uint32_t shards, bool smoke)
+{
+    serve::FleetConfig fleet;
+    fleet.tenants = tenants;
+    fleet.seed = 42;
+    // Hot keeps exactly 4x the cold records at 4x the weight, so the
+    // weight-normalized service shares are flat and Jain ~ 1.
+    fleet.hot_records = smoke ? 8'000 : 40'000;
+    fleet.cold_records = smoke ? 2'000 : 10'000;
+    fleet.bundle_records = 2'000;
+    fleet.hot_rate = 50e6;
+    fleet.cold_rate = 10e6;
+    fleet.hot_hbm_reserve = 8_MiB;
+    fleet.cold_hbm_reserve = 2_MiB;
+    // The whole fleet arrives at once: placement sees N concurrent
+    // load vectors (staggered arrivals would drain between offers and
+    // pile everything on shard 0).
+    fleet.arrival_span = 0;
+    fleet.max_inflight_bundles = 8;
+
+    serve::ServeConfig cfg;
+    cfg.engine.machine = sim::MachineConfig::knl();
+    cfg.engine.cores = kCores;
+    cfg.engine.max_inflight_bundles = 1024;
+    cfg.window_ns = 20 * kNsPerMs;
+    cfg.shards = shards;
+    cfg.admission.max_active = tenants;
+    cfg.admission.max_queued = tenants;
+
+    serve::Server server(cfg);
+    server.submitFleet(serve::makeFleet(fleet));
+    const auto t0 = std::chrono::steady_clock::now();
+    server.run();
+    const auto t1 = std::chrono::steady_clock::now();
+
+    ShardPoint p;
+    p.shards = shards;
+    p.tenants = tenants;
+    p.wall_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    p.aggregate_mrps = server.aggregateMrps();
+    p.fairness = server.fairnessIndex();
+    p.rejected = server.registry().rejected();
+    p.rows.resize(shards);
+    for (uint32_t s = 0; s < shards; ++s)
+        p.rows[s].shard = s;
+
+    SampleSet pooled;
+    for (const TenantReport &r : server.reports()) {
+        if (r.admission != Admission::kAdmitted)
+            continue;
+        ++p.admitted;
+        p.records += r.records;
+        ShardRow &row = p.rows[r.shard];
+        ++row.tenants;
+        row.tasks += r.tasks;
+        row.records += r.records;
+        for (double s : r.latency_samples)
+            pooled.add(s);
+    }
+    p.p50_s = pooled.percentile(50);
+    p.p99_s = pooled.percentile(99);
+    // The accounting identity: with stealing and migration off,
+    // every shard's executor completed exactly its residents' tasks.
+    for (uint32_t s = 0; s < shards; ++s) {
+        if (server.engine(s).exec().completedTasks() != p.rows[s].tasks)
+            p.accounting_ok = false;
+    }
+    return p;
+}
+
 void
 writePoint(std::FILE *f, const Point &p, const char *indent,
            const char *trailer)
@@ -202,15 +316,52 @@ writePoint(std::FILE *f, const Point &p, const char *indent,
     std::fprintf(f, "%s}%s\n", indent, trailer);
 }
 
+void
+writeShardPoint(std::FILE *f, const ShardPoint &p, const char *indent,
+                const char *trailer)
+{
+    std::fprintf(f, "%s{\n", indent);
+    std::fprintf(f, "%s  \"shards\": %u,\n", indent, p.shards);
+    std::fprintf(f, "%s  \"tenants\": %u,\n", indent, p.tenants);
+    std::fprintf(f, "%s  \"aggregate_mrps\": %.3f,\n", indent,
+                 p.aggregate_mrps);
+    std::fprintf(f, "%s  \"p50_s\": %.6f,\n", indent, p.p50_s);
+    std::fprintf(f, "%s  \"p99_s\": %.6f,\n", indent, p.p99_s);
+    std::fprintf(f, "%s  \"fairness\": %.4f,\n", indent, p.fairness);
+    std::fprintf(f, "%s  \"admitted\": %llu,\n", indent,
+                 static_cast<unsigned long long>(p.admitted));
+    std::fprintf(f, "%s  \"rejected\": %llu,\n", indent,
+                 static_cast<unsigned long long>(p.rejected));
+    std::fprintf(f, "%s  \"records\": %llu,\n", indent,
+                 static_cast<unsigned long long>(p.records));
+    std::fprintf(f, "%s  \"wall_ms\": %.1f,\n", indent, p.wall_ms);
+    std::fprintf(f, "%s  \"accounting_ok\": %s,\n", indent,
+                 p.accounting_ok ? "true" : "false");
+    std::fprintf(f, "%s  \"per_shard\": [\n", indent);
+    for (size_t i = 0; i < p.rows.size(); ++i) {
+        const ShardRow &r = p.rows[i];
+        std::fprintf(f,
+                     "%s    {\"shard\": %u, \"tenants\": %u, "
+                     "\"tasks\": %llu, \"records\": %llu}%s\n",
+                     indent, r.shard, r.tenants,
+                     static_cast<unsigned long long>(r.tasks),
+                     static_cast<unsigned long long>(r.records),
+                     i + 1 < p.rows.size() ? "," : "");
+    }
+    std::fprintf(f, "%s  ]\n", indent);
+    std::fprintf(f, "%s}%s\n", indent, trailer);
+}
+
 bool
 writeJson(const std::string &path, const std::vector<Point> &points,
-          const Point &overload)
+          const Point &overload,
+          const std::vector<ShardPoint> &shard_points)
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (f == nullptr)
         return false;
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": \"sbhbm-serve-v2\",\n");
+    std::fprintf(f, "  \"schema\": \"sbhbm-serve-v3\",\n");
     std::fprintf(f, "  \"cores\": %u,\n", kCores);
     std::fprintf(f, "  \"points\": [\n");
     for (size_t i = 0; i < points.size(); ++i)
@@ -218,7 +369,12 @@ writeJson(const std::string &path, const std::vector<Point> &points,
                    i + 1 < points.size() ? "," : "");
     std::fprintf(f, "  ],\n");
     std::fprintf(f, "  \"overload\": \n");
-    writePoint(f, overload, "  ", "");
+    writePoint(f, overload, "  ", ",");
+    std::fprintf(f, "  \"shard_sweep\": [\n");
+    for (size_t i = 0; i < shard_points.size(); ++i)
+        writeShardPoint(f, shard_points[i], "    ",
+                        i + 1 < shard_points.size() ? "," : "");
+    std::fprintf(f, "  ]\n");
     std::fprintf(f, "}\n");
     return std::fclose(f) == 0;
 }
@@ -275,6 +431,34 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(ovl.demoted_kpas),
                 static_cast<double>(ovl_peak) / 1e6);
 
+    // The shard sweep: one big fleet over a growing shard count.
+    const uint32_t shard_tenants = smoke ? 32 : 256;
+    const std::vector<uint32_t> shard_counts =
+        smoke ? std::vector<uint32_t>{1, 2, 4}
+              : std::vector<uint32_t>{1, 2, 4, 8};
+
+    bench::Table stable("Serving layer — shard sweep ("
+                        + std::to_string(shard_tenants) + " tenants, "
+                        + std::to_string(kCores) + " cores/shard)");
+    stable.header({"shards", "agg Mrec/s", "p50 ms", "p99 ms",
+                   "fairness", "admitted", "wall ms"});
+    std::vector<ShardPoint> shard_points;
+    for (uint32_t s : shard_counts) {
+        ShardPoint p = runShardPoint(shard_tenants, s, smoke);
+        stable.row({bench::Table::num(uint64_t{p.shards}),
+                    bench::Table::num(p.aggregate_mrps, 2),
+                    bench::Table::num(p.p50_s * 1e3, 1),
+                    bench::Table::num(p.p99_s * 1e3, 1),
+                    bench::Table::num(p.fairness, 3),
+                    bench::Table::num(p.admitted),
+                    bench::Table::num(p.wall_ms, 0)});
+        shard_points.push_back(p);
+    }
+    stable.print();
+    std::printf("note: the host is simulated one shard at a time — "
+                "shard-sweep wall-clock is a single-thread baseline "
+                "to re-measure on a multicore box.\n");
+
     // Shape checks: admission must have run everyone, a lone tenant
     // cannot be unfair to itself, and fairness must hold at scale.
     bench::shapeCheck("all sweep points admitted every tenant", [&] {
@@ -305,13 +489,47 @@ main(int argc, char **argv)
                 return false;
         return true;
     }());
+    bench::shapeCheck("shard sweep admits and drains the fleet", [&] {
+        for (const ShardPoint &p : shard_points)
+            if (p.admitted != p.tenants || p.rejected != 0)
+                return false;
+        return true;
+    }());
+    bench::shapeCheck("shard sweep fairness >= 0.99", [&] {
+        for (const ShardPoint &p : shard_points)
+            if (p.fairness < 0.99)
+                return false;
+        return true;
+    }());
+    bench::shapeCheck("per-shard accounting closes", [&] {
+        for (const ShardPoint &p : shard_points) {
+            if (!p.accounting_ok)
+                return false;
+            uint64_t rows_records = 0;
+            uint32_t rows_tenants = 0;
+            for (const ShardRow &r : p.rows) {
+                rows_records += r.records;
+                rows_tenants += r.tenants;
+            }
+            if (rows_records != p.records || rows_tenants != p.admitted)
+                return false;
+        }
+        return true;
+    }());
+    bench::shapeCheck("every shard hosts sessions", [&] {
+        for (const ShardPoint &p : shard_points)
+            for (const ShardRow &r : p.rows)
+                if (r.tenants == 0)
+                    return false;
+        return true;
+    }());
 
-    if (!writeJson(out, points, ovl)) {
+    if (!writeJson(out, points, ovl, shard_points)) {
         std::fprintf(stderr, "serve_report: cannot write %s\n",
                      out.c_str());
         return 1;
     }
-    std::printf("serve_report: wrote %s (%zu points)\n", out.c_str(),
-                points.size());
+    std::printf("serve_report: wrote %s (%zu points, %zu shard points)\n",
+                out.c_str(), points.size(), shard_points.size());
     return 0;
 }

@@ -26,6 +26,13 @@
  * sampled HBM high-water is strictly lower than run A's, and that
  * every victim tenant still drained in full.
  *
+ * Part 3 demonstrates sharded scale-out: the same 64-session
+ * contending fleet served by one engine shard and then by four
+ * (with cross-shard work stealing on). The SHARD lines check that
+ * placement spread the fleet over every shard, that every session
+ * still drained in full, and that aggregate throughput grew with
+ * the shard count.
+ *
  * Build & run:
  *   cmake -B build -S . && cmake --build build -j
  *   ./build/examples/multi_tenant [records_scale]
@@ -84,6 +91,64 @@ runOverloadFleet(double scale, bool control_plane)
         r.all_drained =
             r.all_drained && rep.records == records;
     }
+    return r;
+}
+
+/** What one shard-count run leaves behind (part 3). */
+struct ShardRun
+{
+    double aggregate_mrps = 0;
+    double fairness = 0;
+    uint32_t shards_used = 0;
+    bool all_drained = true;
+};
+
+/**
+ * The scale-out scenario: sixty-four short contending sessions arriving
+ * at once, served by @p shards engine shards with work stealing on.
+ * The per-shard engine is deliberately small (8 cores) so a single
+ * shard is clearly compute-bound and extra shards pay off.
+ */
+ShardRun
+runShardFleet(double scale, uint32_t shards)
+{
+    serve::FleetConfig fleet;
+    fleet.tenants = 64;
+    fleet.seed = 42;
+    fleet.hot_records = static_cast<uint64_t>(40'000 * scale);
+    fleet.cold_records = static_cast<uint64_t>(10'000 * scale);
+    fleet.bundle_records = 2'000;
+    fleet.hot_rate = 50e6;
+    fleet.cold_rate = 10e6;
+    fleet.hot_hbm_reserve = 8ull << 20;
+    fleet.cold_hbm_reserve = 2ull << 20;
+    fleet.arrival_span = 0; // everyone at once: placement sees the load
+    fleet.max_inflight_bundles = 8;
+
+    serve::ServeConfig cfg;
+    cfg.engine.machine = sim::MachineConfig::knl();
+    cfg.engine.cores = 8;
+    cfg.engine.max_inflight_bundles = 1024;
+    cfg.window_ns = 20 * kNsPerMs;
+    cfg.shards = shards;
+    cfg.work_stealing = true;
+
+    serve::Server server(cfg);
+    server.submitFleet(serve::makeFleet(fleet));
+    server.run();
+
+    ShardRun r;
+    r.aggregate_mrps = server.aggregateMrps();
+    r.fairness = server.fairnessIndex();
+    std::vector<bool> used(shards, false);
+    for (const TenantReport &rep : server.reports()) {
+        r.all_drained = r.all_drained
+                        && rep.admission == Admission::kAdmitted
+                        && rep.records == rep.spec.total_records;
+        used[rep.shard] = true;
+    }
+    for (bool u : used)
+        r.shards_used += u ? 1 : 0;
     return r;
 }
 
@@ -230,5 +295,32 @@ main(int argc, char **argv)
                 drained ? "ok" : "VIOLATED");
 
     const bool part2_ok = demoted && relieved && drained;
-    return all_fair && part2_ok ? 0 : 1;
+
+    // ---- Part 3: sharded scale-out --------------------------------
+    std::printf("\n== scale-out: 64 sessions, 1 vs 4 engine shards "
+                "(8 cores each, work stealing) ==\n");
+    const ShardRun one = runShardFleet(scale, 1);
+    const ShardRun four = runShardFleet(scale, 4);
+    std::printf("1 shard   : %.2f M records/s, Jain %.3f\n",
+                one.aggregate_mrps, one.fairness);
+    std::printf("4 shards  : %.2f M records/s, Jain %.3f, "
+                "%u shards hosting sessions\n",
+                four.aggregate_mrps, four.fairness, four.shards_used);
+
+    const bool spread = four.shards_used == 4;
+    const bool scaled = four.aggregate_mrps > one.aggregate_mrps;
+    const bool shard_drained = one.all_drained && four.all_drained;
+    std::printf("SHARD  placement spread the fleet over every shard: "
+                "%s\n",
+                spread ? "ok" : "VIOLATED");
+    std::printf("SHARD  aggregate throughput grew with shards "
+                "(%.2f > %.2f Mrec/s): %s\n",
+                four.aggregate_mrps, one.aggregate_mrps,
+                scaled ? "ok" : "VIOLATED");
+    std::printf("SHARD  every session drained in full on both "
+                "fleets: %s\n",
+                shard_drained ? "ok" : "VIOLATED");
+
+    const bool part3_ok = spread && scaled && shard_drained;
+    return all_fair && part2_ok && part3_ok ? 0 : 1;
 }

@@ -60,7 +60,12 @@ class RunningStat
 class SampleSet
 {
   public:
-    void add(double v) { samples_.push_back(v); }
+    void
+    add(double v)
+    {
+        samples_.push_back(v);
+        sorted_dirty_ = true;
+    }
 
     size_t size() const { return samples_.size(); }
     bool empty() const { return samples_.empty(); }
@@ -68,6 +73,11 @@ class SampleSet
     /**
      * @param p percentile in [0, 100].
      * @return the nearest-rank percentile, or 0 when empty.
+     *
+     * The sorted view is cached between calls and invalidated by
+     * add()/clear(): querying p50/p95/p99 back to back sorts once,
+     * not three times (the serving reports do exactly that per
+     * tenant, and the shard sweep multiplies it).
      */
     double
     percentile(double p) const
@@ -75,11 +85,14 @@ class SampleSet
         if (samples_.empty())
             return 0.0;
         sbhbm_assert(p >= 0.0 && p <= 100.0, "p=%f", p);
-        std::vector<double> sorted(samples_);
-        std::sort(sorted.begin(), sorted.end());
+        if (sorted_dirty_) {
+            sorted_ = samples_;
+            std::sort(sorted_.begin(), sorted_.end());
+            sorted_dirty_ = false;
+        }
         const auto rank = static_cast<size_t>(
-            p / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
-        return sorted[std::min(rank, sorted.size() - 1)];
+            p / 100.0 * static_cast<double>(sorted_.size() - 1) + 0.5);
+        return sorted_[std::min(rank, sorted_.size() - 1)];
     }
 
     double
@@ -106,10 +119,20 @@ class SampleSet
 
     const std::vector<double> &samples() const { return samples_; }
 
-    void clear() { samples_.clear(); }
+    void
+    clear()
+    {
+        samples_.clear();
+        sorted_.clear();
+        sorted_dirty_ = true;
+    }
 
   private:
     std::vector<double> samples_;
+
+    /** Cached ascending view of samples_, rebuilt lazily. */
+    mutable std::vector<double> sorted_;
+    mutable bool sorted_dirty_ = true;
 };
 
 } // namespace sbhbm

@@ -105,6 +105,20 @@ class Source
     uint64_t bundlesIngested() const { return bundles_ingested_; }
     bool finished() const { return finished_; }
 
+    /**
+     * Stop the stream early: cap total_records at what has already
+     * been delivered, so the source drains naturally — the next
+     * scheduling decision sees end-of-stream and emits the final
+     * watermark, closing every open window. The serving layer uses
+     * this to hand a session off to another shard (drain here,
+     * restart the remainder there); a bundle already in flight still
+     * lands and is counted, keeping records conservation exact.
+     */
+    void truncate() { cfg_.total_records = records_ingested_; }
+
+    /** Records the stream was configured to deliver in total. */
+    uint64_t totalRecords() const { return cfg_.total_records; }
+
     /** One ingestion checkpoint: cumulative records at a sim time. */
     struct Checkpoint
     {

@@ -41,8 +41,13 @@ class CapacityGauge
     bool
     tryReserve(uint64_t bytes, bool urgent)
     {
+        // Headroom subtraction, never used_ + bytes: the sum wraps
+        // for a huge request and a wrapped sum compares as "fits".
+        // used_ can legitimately sit above the non-urgent limit
+        // (urgent allocations dip into the reserve), so guard the
+        // subtraction too.
         const uint64_t limit = urgent ? capacity_ : capacity_ - reserve_;
-        if (used_ + bytes > limit)
+        if (used_ > limit || bytes > limit - used_)
             return false;
         used_ += bytes;
         if (used_ > high_water_)
@@ -90,7 +95,9 @@ class CapacityGauge
     bool
     hasRoom(uint64_t bytes) const
     {
-        return used_ + bytes <= capacity_ - reserve_;
+        // Same overflow-safe headroom form as tryReserve().
+        const uint64_t limit = capacity_ - reserve_;
+        return used_ <= limit && bytes <= limit - used_;
     }
 
   private:

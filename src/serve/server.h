@@ -1,23 +1,42 @@
 /**
  * @file
- * The multi-tenant serving layer's composition root: one engine, many
- * sessions.
+ * The multi-tenant serving layer's composition root: a fleet of
+ * engine shards, many sessions.
  *
- * A Server owns the shared runtime::Engine, the admission controller
- * (TenantRegistry) and the FairScheduler it installs as the
- * executor's dispatch policy. Sessions are submitted up front (a
- * deterministic replay of an arrival schedule); run() offers each to
- * the admission controller at its arrival time, starts admitted
- * sessions, drains everything, and leaves one TenantReport per
+ * A Server owns an array of EngineShards — each one a full
+ * runtime::Engine (its own simulated machine, hybrid memory, executor
+ * and pressure director) plus the FairScheduler installed as that
+ * shard's dispatch policy — and the fleet-wide admission controller
+ * (TenantRegistry), which places every admitted session by its load
+ * vector onto the least-loaded shard under per-shard slices of the
+ * global HBM budget. Sessions are submitted up front (a deterministic
+ * replay of an arrival schedule); run() offers each to the admission
+ * controller at its arrival time, starts admitted sessions on their
+ * placement shard, drives every shard's event loop in one global
+ * time-ordered co-simulation, and leaves one TenantReport per
  * session: throughput, watermark-latency percentiles against the SLA,
- * per-tenant cost totals (the determinism audit), and fair-share
- * service counts.
+ * per-tenant cost totals (the determinism audit), fair-share service
+ * counts, and the shard the session ran on.
+ *
+ * Cross-shard control flow rides on a single causality invariant: the
+ * co-simulation always processes the globally-earliest pending event,
+ * so inside any event at time t every other shard's clock is at or
+ * before t with nothing pending earlier — Machine::syncTo(t) is
+ * always legal before acting on another shard. Two optional data
+ * paths build on it: work stealing (an idle shard's executor runs the
+ * backlogged shard's oldest non-urgent task, costs charged home) and
+ * tenant migration (a shard whose pressure director cannot demote its
+ * way out of a breach drains its heaviest movable session and
+ * restarts the remainder on the emptiest shard).
  *
  * Everything is keyed on tenant ids, never on submission order:
  * arrival events are scheduled in id order (ties at equal arrival
  * times break by id), per-tenant seeds derive from the id, and the
  * fair scheduler tie-breaks by id — so per-tenant results are
- * bit-identical no matter the order sessions were submitted in.
+ * bit-identical no matter the order sessions were submitted in. With
+ * shards == 1 (the default) and both cross-shard paths off, the
+ * co-simulation degenerates to the single machine's run() loop and
+ * every output is byte-identical to the single-engine server.
  */
 
 #ifndef SBHBM_SERVE_SERVER_H
@@ -31,6 +50,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/stats.h"
 #include "common/units.h"
 #include "runtime/engine.h"
 #include "serve/fair_scheduler.h"
@@ -43,10 +63,11 @@ namespace sbhbm::serve {
 struct ServeConfig
 {
     /**
-     * The shared engine. max_inflight_bundles is the machine-wide
-     * ceiling on top of the per-tenant budgets — size it to at least
-     * the sum of concurrent tenants' budgets or the global limit
-     * becomes the binding constraint.
+     * The per-shard engine template. max_inflight_bundles is the
+     * per-machine ceiling on top of the per-tenant budgets — size it
+     * to at least the sum of concurrent tenants' budgets or the
+     * global limit becomes the binding constraint. host_threads is
+     * the whole server's host pool; each shard gets an equal slice.
      */
     runtime::EngineConfig engine;
 
@@ -55,10 +76,11 @@ struct ServeConfig
 
     /**
      * Admission limits. An hbm_budget_bytes of 0 derives the default:
-     * half the machine's HBM (DRAM when the machine has none).
-     * admission.mode selects static-reservation vs live-pressure
-     * headroom; live mode samples the engine HBM gauge's windowed
-     * high-water each admission tick.
+     * half of one shard machine's HBM (DRAM when the machine has
+     * none) times the shard count. admission.mode selects
+     * static-reservation vs live-pressure headroom; live mode samples
+     * each shard's engine HBM gauge windowed high-water per admission
+     * tick. admission.shards is overwritten from `shards` below.
      */
     AdmissionConfig admission{0, 64, 64};
 
@@ -73,6 +95,26 @@ struct ServeConfig
      * plane's feedback loop.
      */
     bool sla_demotion = false;
+
+    /** Engine shards; 1 reproduces the single-engine server. */
+    uint32_t shards = 1;
+
+    /**
+     * Let idle shards run backlogged shards' non-urgent tasks (costs
+     * still charged to the home shard). Only meaningful at shards > 1.
+     */
+    bool work_stealing = false;
+
+    /** Backlog depth a victim must have before it is stolen from. */
+    uint32_t steal_min_backlog = 2;
+
+    /**
+     * Escalate an unrelievable pressure-director breach into tenant
+     * migration: the breaching shard drains its heaviest movable
+     * session and the remainder restarts on the emptiest shard.
+     * Needs engine.pressure.enabled and shards > 1.
+     */
+    bool shard_migration = false;
 };
 
 /** What one session did, filled when it drains. */
@@ -121,27 +163,55 @@ struct TenantReport
 
     /** Times the SLA loop demoted this tenant's placement class. */
     uint64_t sla_demotions = 0;
+
+    /** Shard the session (last) ran on. */
+    uint32_t shard = 0;
+
+    /** Cross-shard migrations this session went through. */
+    uint32_t migrations = 0;
 };
 
-/** One engine serving N tenants. */
+/** A fleet of engine shards serving N tenants. */
 class Server
 {
   public:
     explicit Server(ServeConfig cfg)
-        : cfg_(fillDefaults(std::move(cfg))), eng_(cfg_.engine),
-          registry_(cfg_.admission)
+        : cfg_(fillDefaults(std::move(cfg))), registry_(cfg_.admission)
     {
-        if (cfg_.fair_share)
-            eng_.exec().setDispatchPolicy(&sched_);
-        if (cfg_.admission.mode == AdmissionMode::kLivePressure) {
-            // Gauge-aware admission: headroom is the windowed
-            // high-water of the tier sessions actually allocate on,
-            // not the sum of paper reservations.
-            registry_.setLivePressure([this] {
-                return eng_.memory()
-                    .gauge(pressureTier())
-                    .highWaterSinceMark();
-            });
+        shards_.reserve(cfg_.shards);
+        for (uint32_t s = 0; s < cfg_.shards; ++s) {
+            runtime::EngineConfig ec = cfg_.engine;
+            // Each shard gets an equal slice of the host pool (the
+            // wall-clock fork-join threads; simulated cores are per
+            // machine and not shared).
+            if (ec.host_threads > 0)
+                ec.host_threads =
+                    std::max(1u, ec.host_threads / cfg_.shards);
+            shards_.push_back(std::make_unique<EngineShard>(ec));
+            EngineShard &sh = *shards_.back();
+            if (cfg_.fair_share)
+                sh.eng->exec().setDispatchPolicy(&sh.sched);
+            if (cfg_.admission.mode == AdmissionMode::kLivePressure) {
+                // Gauge-aware admission: headroom is the windowed
+                // high-water of the tier sessions actually allocate
+                // on, not the sum of paper reservations.
+                registry_.setLivePressure(s, [this, s] {
+                    return shards_[s]
+                        ->eng->memory()
+                        .gauge(pressureTier())
+                        .highWaterSinceMark();
+                });
+            }
+        }
+        if (cfg_.shard_migration && cfg_.shards > 1) {
+            for (uint32_t s = 0; s < cfg_.shards; ++s)
+                shards_[s]->eng->director().setBreachHook(
+                    [this, s](uint64_t) { onShardBreach(s); });
+        }
+        if (cfg_.work_stealing && cfg_.shards > 1) {
+            for (uint32_t s = 0; s < cfg_.shards; ++s)
+                shards_[s]->eng->exec().setStealHook(
+                    [this, s] { return stealInto(s); });
         }
     }
 
@@ -183,21 +253,30 @@ class Server
             sbhbm_assert(pending_[i - 1].id != pending_[i].id,
                          "duplicate tenant id %u", pending_[i].id);
         }
+        // Arrivals land on shard 0 — the control-plane machine; the
+        // admission controller then places each admit on its shard.
         for (const TenantSpec &spec : pending_) {
             TenantReport rep;
             rep.spec = spec;
             rep.arrived_at = spec.arrives_at;
             reports_[spec.id] = rep;
-            eng_.machine().atOrNow(
+            shards_[0]->eng->machine().atOrNow(
                 spec.arrives_at, [this, spec] { arrive(spec); });
         }
 
-        eng_.monitor().start();
+        for (auto &sh : shards_)
+            sh->eng->monitor().start();
         if (cfg_.admission.mode == AdmissionMode::kLivePressure)
             admissionTick();
-        eng_.machine().run();
+        if (cfg_.work_stealing && cfg_.shards > 1) {
+            for (uint32_t s = 0; s < cfg_.shards; ++s)
+                stealTick(s);
+        }
+        runFleet();
 
-        sbhbm_assert(tenants_.empty(), "sessions still running at drain");
+        for (auto &sh : shards_)
+            sbhbm_assert(sh->tenants.empty(),
+                         "sessions still running at drain");
         sbhbm_assert(registry_.queued() == 0,
                      "sessions still waiting at drain");
 
@@ -212,15 +291,24 @@ class Server
         return report_list_;
     }
 
-    runtime::Engine &engine() { return eng_; }
+    runtime::Engine &engine() { return *shards_[0]->eng; }
+    runtime::Engine &engine(uint32_t s) { return *shards_[s]->eng; }
+    uint32_t shardCount() const
+    {
+        return static_cast<uint32_t>(shards_.size());
+    }
     const ServeConfig &config() const { return cfg_; }
     const TenantRegistry &registry() const { return registry_; }
-    const FairScheduler &scheduler() const { return sched_; }
+    const FairScheduler &scheduler() const { return shards_[0]->sched; }
+    const FairScheduler &scheduler(uint32_t s) const
+    {
+        return shards_[s]->sched;
+    }
 
     /**
      * Jain index over weight-normalized service (tasks completed /
      * weight) of the sessions that ran: 1.0 = perfectly
-     * weighted-fair. Computed from the executor's per-stream totals,
+     * weighted-fair. Computed from the executors' per-stream totals,
      * not the FairScheduler's counters, so the legacy tag-priority
      * mode (fair_share = false) is measured — not vacuously fair.
      */
@@ -256,21 +344,56 @@ class Server
     }
 
   private:
+    /** One engine plus its shard-local serving state. */
+    struct EngineShard
+    {
+        explicit EngineShard(const runtime::EngineConfig &ec)
+            : eng(std::make_unique<runtime::Engine>(ec))
+        {
+        }
+
+        std::unique_ptr<runtime::Engine> eng;
+        FairScheduler sched;
+        std::map<runtime::StreamId, std::unique_ptr<Tenant>> tenants;
+        std::map<runtime::StreamId, bool> demoted_class;
+    };
+
+    /**
+     * A migrated session's report spans segments on several shards;
+     * executor / scheduler / director counters are cumulative per
+     * shard, so each segment snapshots its baselines at start and
+     * contributes deltas at drain. First segments on a fresh stream
+     * have all-zero baselines — the single-shard path is unchanged.
+     */
+    struct SegmentBase
+    {
+        uint64_t tasks = 0;
+        double cpu_ns = 0;
+        uint64_t hbm_bytes = 0;
+        uint64_t dram_bytes = 0;
+        uint64_t served_slots = 0;
+        uint64_t demoted_kpas = 0;
+        uint64_t demoted_bytes = 0;
+    };
+
     static ServeConfig
     fillDefaults(ServeConfig cfg)
     {
+        sbhbm_assert(cfg.shards >= 1, "server needs >= 1 shard");
         if (cfg.admission.hbm_budget_bytes == 0) {
             // Budget over the tier sessions actually allocate on:
             // HBM only in flat mode (cache / DRAM-only modes place
-            // everything in DRAM).
+            // everything in DRAM). Every shard brings its own
+            // machine, so the fleet budget scales with the count.
             const auto &m = cfg.engine.machine;
             const uint64_t pool =
                 cfg.engine.mode == sim::MemoryMode::kFlat && m.hasHbm()
                     ? m.hbm.capacity_bytes
                     : m.dram.capacity_bytes;
-            cfg.admission.hbm_budget_bytes = std::max<uint64_t>(
-                1, pool / 2);
+            cfg.admission.hbm_budget_bytes =
+                std::max<uint64_t>(1, pool / 2) * cfg.shards;
         }
+        cfg.admission.shards = cfg.shards;
         return cfg;
     }
 
@@ -292,7 +415,8 @@ class Server
         rep.admission = a;
         switch (a) {
           case Admission::kAdmitted:
-            start(spec);
+            start(registry_.shardOf(spec.id), spec,
+                  shards_[0]->eng->machine().now());
             break;
           case Admission::kQueued:
             rep.was_queued = true;
@@ -302,33 +426,76 @@ class Server
         }
     }
 
+    /**
+     * Start a session (segment) on shard @p s at global time @p now.
+     * Callers hold the co-sim invariant (they are inside the
+     * globally-earliest event), so syncing s's clock forward is legal.
+     */
     void
-    start(const TenantSpec &spec)
+    start(uint32_t s, const TenantSpec &spec, SimTime now)
     {
-        auto tenant = std::make_unique<Tenant>(eng_, spec, cfg_.window_ns,
-                                               seedFor(spec));
+        EngineShard &sh = *shards_[s];
+        sh.eng->machine().syncTo(now);
+
+        SegmentBase base;
+        const auto &ss = sh.eng->exec().streamStats(spec.id);
+        base.tasks = ss.completed;
+        base.cpu_ns = ss.cpu_ns;
+        base.hbm_bytes = ss.hbm_bytes;
+        base.dram_bytes = ss.dram_bytes;
+        base.served_slots = sh.sched.served(spec.id);
+        base.demoted_kpas = sh.eng->director().demotedKpas(spec.id);
+        base.demoted_bytes = sh.eng->director().demotedBytes(spec.id);
+        seg_base_[spec.id] = base;
+        reports_[spec.id].shard = s;
+
+        auto tenant = std::make_unique<Tenant>(
+            *sh.eng, spec, cfg_.window_ns, seedFor(spec));
         Tenant &t = *tenant;
-        tenants_[spec.id] = std::move(tenant);
+        sh.tenants[spec.id] = std::move(tenant);
         if (cfg_.fair_share)
-            sched_.setWeight(spec.id, spec.weight);
+            sh.sched.setWeight(spec.id, spec.weight);
         t.start();
-        eng_.machine().after(kNsPerMs, [this, id = spec.id] { poll(id); });
+        sh.eng->machine().after(kNsPerMs,
+                                [this, s, id = spec.id] { poll(s, id); });
     }
 
     /**
      * Periodic admission pump (live-pressure mode only): admit
      * waiters that now fit under the measured pressure, then open a
-     * fresh high-water window on the gauge. Daemon-scheduled: the
-     * machine drains when sessions do.
+     * fresh high-water window on every shard's gauge. Daemon-
+     * scheduled on the control-plane shard: machines drain when
+     * sessions do.
      */
     void
     admissionTick()
     {
+        const SimTime now = shards_[0]->eng->machine().now();
         for (const TenantSpec &next : registry_.pumpAdmission())
-            start(next);
-        eng_.memory().markHighWater(pressureTier());
-        eng_.machine().after(
+            start(registry_.shardOf(next.id), next, now);
+        for (uint32_t s = 0; s < cfg_.shards; ++s) {
+            shards_[s]->eng->memory().markHighWater(pressureTier());
+            // The fresh window's sample covers everything admitted up
+            // to here: reset the registry's unmeasured-reserve term.
+            registry_.noteGaugeMarked(s);
+        }
+        shards_[0]->eng->machine().after(
             cfg_.engine.monitor_period, [this] { admissionTick(); },
+            /*daemon=*/true);
+    }
+
+    /**
+     * Periodic steal pump for shard @p s: a shard whose event queue
+     * ran completely dry never re-enters its executor's pump(), so
+     * without this tick it would stop lending cycles the moment it
+     * went idle. Daemon-scheduled — it keeps no machine alive.
+     */
+    void
+    stealTick(uint32_t s)
+    {
+        shards_[s]->eng->exec().pumpSteals();
+        shards_[s]->eng->machine().after(
+            cfg_.engine.monitor_period, [this, s] { stealTick(s); },
             /*daemon=*/true);
     }
 
@@ -345,11 +512,43 @@ class Server
                    : mem::Tier::kDram;
     }
 
+    /**
+     * The global event loop: always step the shard machine with the
+     * earliest pending event (ties break on the lowest shard index),
+     * until no machine has non-daemon work left — the exact
+     * multi-machine generalization of EventQueue::run(), and
+     * identical to it at one shard. Daemon events (monitors,
+     * admission ticks) keep firing while any shard has live work, so
+     * a drained shard's clock keeps pace with the fleet.
+     */
     void
-    poll(runtime::StreamId id)
+    runFleet()
     {
-        auto it = tenants_.find(id);
-        sbhbm_assert(it != tenants_.end(), "polling unknown tenant %u",
+        for (;;) {
+            bool any_live = false;
+            size_t best = 0;
+            SimTime best_t = kSimTimeNever;
+            for (size_t s = 0; s < shards_.size(); ++s) {
+                sim::Machine &m = shards_[s]->eng->machine();
+                any_live = any_live || !m.idle();
+                const SimTime t = m.events().nextTime();
+                if (t < best_t) {
+                    best_t = t;
+                    best = s;
+                }
+            }
+            if (!any_live)
+                break;
+            shards_[best]->eng->machine().step();
+        }
+    }
+
+    void
+    poll(uint32_t s, runtime::StreamId id)
+    {
+        EngineShard &sh = *shards_[s];
+        auto it = sh.tenants.find(id);
+        sbhbm_assert(it != sh.tenants.end(), "polling unknown tenant %u",
                      id);
         Tenant &t = *it->second;
         t.sla().observe(t.pipe());
@@ -357,10 +556,10 @@ class Server
             // SLA feedback into placement: a breaching tenant's
             // non-urgent KPAs go DRAM-lean until it recovers.
             const bool want = t.sla().breached();
-            bool &demoted = demoted_class_[id];
+            bool &demoted = sh.demoted_class[id];
             if (want != demoted) {
                 demoted = want;
-                eng_.setStreamPlacementClass(
+                sh.eng->setStreamPlacementClass(
                     id, want ? mem::PlacementClass::kDramLean
                              : mem::PlacementClass::kNormal);
                 if (want)
@@ -368,74 +567,211 @@ class Server
             }
         }
         if (!t.drained()) {
-            eng_.machine().after(kNsPerMs, [this, id] { poll(id); });
+            sh.eng->machine().after(kNsPerMs,
+                                    [this, s, id] { poll(s, id); });
             return;
         }
-        finish(id, t);
+        finish(s, id, t);
     }
 
+    /** Fold a drained segment on shard @p s into the report. */
     void
-    finish(runtime::StreamId id, Tenant &t)
+    accumulate(uint32_t s, runtime::StreamId id, Tenant &t)
     {
+        EngineShard &sh = *shards_[s];
         t.sla().observe(t.pipe());
         TenantReport &rep = reports_[id];
-        rep.admission = Admission::kAdmitted;
-        rep.started_at = t.startedAt();
-        rep.finished_at = eng_.machine().now();
-        rep.records = t.recordsIngested();
-        rep.output_records = t.outputRecords();
-        const double sec =
-            simToSeconds(rep.finished_at - rep.started_at);
-        rep.throughput_mrps =
-            sec > 0 ? static_cast<double>(rep.records) / sec / 1e6 : 0.0;
+        if (rep.migrations == 0)
+            rep.started_at = t.startedAt();
+        rep.records += t.recordsIngested();
+        rep.output_records += t.outputRecords();
 
         const SlaTracker &sla = t.sla();
-        rep.windows = sla.windows();
-        rep.sla_violations = sla.violations();
-        rep.p50_s = sla.p50();
-        rep.p95_s = sla.p95();
-        rep.p99_s = sla.p99();
-        rep.max_latency_s = sla.maxLatency();
-        rep.latency_samples = sla.latencies().samples();
+        rep.windows += sla.windows();
+        rep.sla_violations += sla.violations();
+        for (double v : sla.latencies().samples())
+            rep.latency_samples.push_back(v);
+        rep.max_latency_s = std::max(rep.max_latency_s, sla.maxLatency());
 
-        const auto &ss = eng_.exec().streamStats(id);
-        rep.tasks = ss.completed;
-        rep.cpu_ns = ss.cpu_ns;
-        rep.hbm_bytes = ss.hbm_bytes;
-        rep.dram_bytes = ss.dram_bytes;
-        rep.served_slots = sched_.served(id);
+        const auto &ss = sh.eng->exec().streamStats(id);
+        const SegmentBase &base = seg_base_[id];
+        rep.tasks += ss.completed - base.tasks;
+        rep.cpu_ns += ss.cpu_ns - base.cpu_ns;
+        rep.hbm_bytes += ss.hbm_bytes - base.hbm_bytes;
+        rep.dram_bytes += ss.dram_bytes - base.dram_bytes;
+        rep.served_slots += sh.sched.served(id) - base.served_slots;
 
-        rep.hbm_peak_bytes = eng_.memory().streamHbmHighWater(id);
-        rep.demoted_kpas = eng_.director().demotedKpas(id);
-        rep.demoted_bytes = eng_.director().demotedBytes(id);
+        rep.hbm_peak_bytes =
+            std::max(rep.hbm_peak_bytes,
+                     sh.eng->memory().streamHbmHighWater(id));
+        rep.demoted_kpas +=
+            sh.eng->director().demotedKpas(id) - base.demoted_kpas;
+        rep.demoted_bytes +=
+            sh.eng->director().demotedBytes(id) - base.demoted_bytes;
+    }
 
-        // Session teardown: free the pipeline, drop the per-tenant
-        // budget and any placement demotion, then hand the
-        // reservation back — which may admit waiting sessions right
-        // now, at this virtual time.
-        tenants_.erase(id);
-        eng_.setStreamBudget(id, 0);
-        if (cfg_.sla_demotion && demoted_class_[id]) {
-            eng_.setStreamPlacementClass(id, mem::PlacementClass::kNormal);
-            demoted_class_[id] = false;
+    /** Tear a session's shard-local state down after a drain. */
+    void
+    teardown(uint32_t s, runtime::StreamId id)
+    {
+        EngineShard &sh = *shards_[s];
+        sh.tenants.erase(id);
+        sh.eng->setStreamBudget(id, 0);
+        if (cfg_.sla_demotion && sh.demoted_class[id]) {
+            sh.eng->setStreamPlacementClass(id,
+                                            mem::PlacementClass::kNormal);
+            sh.demoted_class[id] = false;
         }
         // A teardown is a step change in usage: restart the pressure
         // window so the departed session's peak does not keep blocking
         // admission until the next tick.
-        if (cfg_.admission.mode == AdmissionMode::kLivePressure)
-            eng_.memory().markHighWater(pressureTier());
+        if (cfg_.admission.mode == AdmissionMode::kLivePressure) {
+            sh.eng->memory().markHighWater(pressureTier());
+            registry_.noteGaugeMarked(s);
+        }
+    }
+
+    void
+    finish(uint32_t s, runtime::StreamId id, Tenant &t)
+    {
+        const SimTime now = shards_[s]->eng->machine().now();
+        TenantReport &rep = reports_[id];
+
+        // A session marked for migration drains early (its stream was
+        // truncated); if records remain, restart them on the target.
+        uint32_t target = 0;
+        bool migrate = false;
+        if (auto mig = migrating_.find(id); mig != migrating_.end()) {
+            target = mig->second;
+            migrating_.erase(mig);
+            migrate = rep.records + t.recordsIngested()
+                      < rep.spec.total_records;
+        }
+
+        accumulate(s, id, t);
+        teardown(s, id); // destroys t
+
+        if (migrate) {
+            ++rep.migrations;
+            TenantSpec cont = rep.spec;
+            cont.total_records = rep.spec.total_records - rep.records;
+            start(target, cont, now);
+            return;
+        }
+
+        rep.admission = Admission::kAdmitted;
+        rep.finished_at = now;
+        const double sec = simToSeconds(rep.finished_at - rep.started_at);
+        rep.throughput_mrps =
+            sec > 0 ? static_cast<double>(rep.records) / sec / 1e6 : 0.0;
+        // Percentiles over the pooled per-window samples: for the
+        // single-segment session this is the SLA tracker's own
+        // SampleSet math on the same values, bit for bit.
+        SampleSet pooled;
+        for (double v : rep.latency_samples)
+            pooled.add(v);
+        rep.p50_s = pooled.percentile(50);
+        rep.p95_s = pooled.percentile(95);
+        rep.p99_s = pooled.percentile(99);
+
+        // Hand the reservation back — which may admit waiting
+        // sessions right now, at this virtual time, on any shard.
         for (const TenantSpec &next : registry_.release(id))
-            start(next);
+            start(registry_.shardOf(next.id), next, now);
+    }
+
+    /**
+     * Shard @p s's pressure director could not demote its way out of
+     * a high-water breach: drain the shard's heaviest movable session
+     * (largest charged HBM footprint, ties to the lowest id) and mark
+     * it for restart on the emptiest shard. Fired from the breaching
+     * shard's monitor tick — the globally-earliest event, so registry
+     * re-accounting and stream truncation are safe here; the actual
+     * handoff happens when the truncated stream drains.
+     */
+    void
+    onShardBreach(uint32_t s)
+    {
+        EngineShard &sh = *shards_[s];
+        runtime::StreamId victim = 0;
+        uint64_t victim_used = 0;
+        for (const auto &[id, t] : sh.tenants) {
+            if (!t->migratable() || migrating_.count(id) != 0)
+                continue;
+            const uint64_t used =
+                sh.eng->memory().streamUsed(id, mem::Tier::kHbm);
+            if (used > victim_used) {
+                victim_used = used;
+                victim = id;
+            }
+        }
+        if (victim == 0)
+            return;
+
+        uint32_t target = s;
+        double target_frac = 2.0;
+        for (uint32_t u = 0; u < cfg_.shards; ++u) {
+            if (u == s)
+                continue;
+            const double f = shards_[u]
+                                 ->eng->memory()
+                                 .gauge(mem::Tier::kHbm)
+                                 .usedFraction();
+            if (f < target_frac) {
+                target_frac = f;
+                target = u;
+            }
+        }
+        if (target == s)
+            return;
+        // Move the declared reservation now (static-mode headroom is
+        // checked here); the running state drains through the normal
+        // output path — drain-and-restart migrates identity, not
+        // resident bytes.
+        if (!registry_.migrate(victim, target))
+            return;
+        migrating_[victim] = target;
+        sh.tenants[victim]->truncate();
+    }
+
+    /**
+     * Idle-steal hook body for thief shard @p s: pop the oldest
+     * non-urgent task off the most backlogged other shard (if its
+     * backlog clears the threshold) and run it here, costs charged
+     * home. @return true when a task was stolen (the executor
+     * re-invokes until slots fill or this declines).
+     */
+    bool
+    stealInto(uint32_t s)
+    {
+        uint32_t victim = s;
+        uint64_t victim_backlog = 0;
+        for (uint32_t u = 0; u < cfg_.shards; ++u) {
+            if (u == s)
+                continue;
+            const uint64_t q = shards_[u]->eng->exec().queuedTasks();
+            if (q >= cfg_.steal_min_backlog && q > victim_backlog) {
+                victim_backlog = q;
+                victim = u;
+            }
+        }
+        if (victim == s)
+            return false;
+        runtime::Executor &vex = shards_[victim]->eng->exec();
+        runtime::Executor::StolenTask task;
+        if (!vex.popStealable(task))
+            return false;
+        shards_[s]->eng->exec().runStolen(std::move(task), vex);
+        return true;
     }
 
     ServeConfig cfg_;
-    runtime::Engine eng_;
+    std::vector<std::unique_ptr<EngineShard>> shards_;
     TenantRegistry registry_;
-    FairScheduler sched_;
     std::vector<TenantSpec> pending_;
-    std::map<runtime::StreamId, std::unique_ptr<Tenant>> tenants_;
     std::map<runtime::StreamId, TenantReport> reports_;
-    std::map<runtime::StreamId, bool> demoted_class_;
+    std::map<runtime::StreamId, SegmentBase> seg_base_;
+    std::map<runtime::StreamId, uint32_t> migrating_;
     std::vector<TenantReport> report_list_;
     bool ran_ = false;
 };

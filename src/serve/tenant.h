@@ -169,6 +169,27 @@ class Tenant
                && ss.spawned == ss.completed;
     }
 
+    /**
+     * Only single-source sessions migrate between shards: a
+     * two-stream query's sources drain at different offsets, so the
+     * continuation could not split the remaining records between them
+     * without breaking per-stream conservation.
+     */
+    bool migratable() const { return src_b_ == nullptr; }
+
+    /**
+     * Begin handing this session off: stop its stream early (see
+     * ingest::Source::truncate) so it drains at the records already
+     * delivered; the serving layer then restarts the remainder on the
+     * destination shard under the same identity and seed.
+     */
+    void
+    truncate()
+    {
+        sbhbm_assert(migratable(), "two-stream sessions do not migrate");
+        src_a_->truncate();
+    }
+
     const TenantSpec &spec() const { return spec_; }
     pipeline::Pipeline &pipe() { return *pipe_; }
     const pipeline::Pipeline &pipe() const { return *pipe_; }

@@ -101,6 +101,27 @@ class EventQueue
         while (live_ > 0 && step()) {}
     }
 
+    /**
+     * Jump the clock forward to @p when without running anything.
+     * Only legal while no event earlier than @p when is pending —
+     * the multi-machine co-simulation uses this to synchronize a
+     * lagging machine's clock to the global time before scheduling
+     * cross-machine work on it (the caller holds the invariant: it is
+     * processing the globally earliest event, so every other queue's
+     * head is at or after @p when).
+     */
+    void
+    advanceTo(SimTime when)
+    {
+        if (when <= now_)
+            return;
+        sbhbm_assert(nextTime() >= when,
+                     "advanceTo(%llu) would skip an event at %llu",
+                     (unsigned long long)when,
+                     (unsigned long long)nextTime());
+        now_ = when;
+    }
+
   private:
     struct Entry
     {

@@ -68,6 +68,15 @@ class Machine
     bool step() { return events_.step(); }
     bool idle() const { return events_.empty(); }
 
+    /**
+     * Synchronize this machine's clock to global time @p when (a
+     * forward jump; no-op when already there). Legal only while no
+     * event earlier than @p when is pending — see
+     * EventQueue::advanceTo. Arbiters advance lazily to now() at
+     * their next use, so jumping the idle clock is safe.
+     */
+    void syncTo(SimTime when) { events_.advanceTo(when); }
+
     EventQueue &events() { return events_; }
 
     /** Instantaneous granted bandwidth on @p tier, bytes/sec. */

@@ -117,6 +117,54 @@ TEST(SampleSet, MaxOfAllNegativeSamples)
     EXPECT_DOUBLE_EQ(s.max(), -1.0);
 }
 
+TEST(SampleSet, CachedPercentilesMatchFreshSortExactly)
+{
+    // The sorted view is cached between queries; every answer must
+    // stay bit-identical to a freshly sorted nearest-rank computation,
+    // including after adds that invalidate the cache.
+    auto reference = [](const std::vector<double> &xs, double p) {
+        std::vector<double> sorted(xs);
+        std::sort(sorted.begin(), sorted.end());
+        const auto rank = static_cast<size_t>(
+            p / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
+        return sorted[std::min(rank, sorted.size() - 1)];
+    };
+
+    SampleSet s;
+    std::vector<double> mirror;
+    // Deterministic scrambled sequence with repeats and negatives.
+    for (int i = 0; i < 257; ++i) {
+        const double v =
+            static_cast<double>((i * 193) % 101) - 50.0 + 0.25 * (i % 4);
+        s.add(v);
+        mirror.push_back(v);
+        if (i % 37 == 0) {
+            // Interleaved queries: the cache is built, then must be
+            // invalidated by the adds that follow.
+            for (double p : {0.0, 50.0, 95.0, 99.0, 100.0})
+                EXPECT_DOUBLE_EQ(s.percentile(p), reference(mirror, p))
+                    << "i=" << i << " p=" << p;
+        }
+    }
+    // Repeated queries against an unchanged set hit the cache and
+    // must keep answering identically.
+    for (int rep = 0; rep < 3; ++rep)
+        for (double p : {0.0, 10.0, 25.0, 50.0, 90.0, 95.0, 99.0, 100.0})
+            EXPECT_DOUBLE_EQ(s.percentile(p), reference(mirror, p));
+}
+
+TEST(SampleSet, ClearInvalidatesThePercentileCache)
+{
+    SampleSet s;
+    s.add(1.0);
+    s.add(2.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100.0), 2.0); // cache built
+    s.clear();
+    s.add(7.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100.0), 7.0)
+        << "stale cache survived clear()";
+}
+
 TEST(SampleSet, ClearEmptiesTheSet)
 {
     SampleSet s;

@@ -1,5 +1,7 @@
 #include "mem/capacity_gauge.h"
 
+#include <cstdint>
+
 #include <gtest/gtest.h>
 
 namespace sbhbm::mem {
@@ -96,6 +98,41 @@ TEST(CapacityGauge, WindowedHighWaterDecaysOnMark)
         << "burst within the window must be remembered";
     g.markHighWater();
     EXPECT_EQ(g.highWaterSinceMark(), 50u);
+}
+
+TEST(CapacityGauge, HugeRequestCannotWrapPastTheLimit)
+{
+    // used_ + bytes overflows uint64_t for a near-UINT64_MAX request;
+    // the wrapped sum used to compare as "fits" and be admitted. The
+    // headroom form must reject every such request, urgent or not.
+    CapacityGauge g(1000, 100);
+    ASSERT_TRUE(g.tryReserve(500, false));
+    const uint64_t huge = UINT64_MAX - 100;
+    EXPECT_FALSE(g.tryReserve(huge, false));
+    EXPECT_FALSE(g.tryReserve(huge, true));
+    EXPECT_FALSE(g.tryReserve(UINT64_MAX, false));
+    EXPECT_FALSE(g.tryReserve(UINT64_MAX, true));
+    EXPECT_FALSE(g.hasRoom(huge));
+    EXPECT_FALSE(g.hasRoom(UINT64_MAX));
+    EXPECT_EQ(g.used(), 500u) << "rejected requests must not charge";
+
+    // An empty gauge is just as exposed (used_ = 0, bytes wraps the
+    // sum all the way around to a small number).
+    CapacityGauge fresh(1000, 0);
+    EXPECT_FALSE(fresh.tryReserve(UINT64_MAX, false));
+    EXPECT_FALSE(fresh.hasRoom(UINT64_MAX - 5));
+    EXPECT_EQ(fresh.used(), 0u);
+}
+
+TEST(CapacityGauge, UrgentOveruseDoesNotWrapNonUrgentHeadroom)
+{
+    // Urgent dips into the reserve, so used_ can exceed the
+    // non-urgent limit; the headroom subtraction must not wrap then.
+    CapacityGauge g(1000, 100);
+    ASSERT_TRUE(g.tryReserve(950, true)); // above the 900 limit
+    EXPECT_FALSE(g.tryReserve(1, false));
+    EXPECT_FALSE(g.hasRoom(1));
+    EXPECT_TRUE(g.tryReserve(50, true));
 }
 
 TEST(CapacityGauge, ZeroCapacityGaugeRejectsEverything)

@@ -135,9 +135,58 @@ TEST(TenantRegistryLive, AdmitsOnMeasuredPressureNotReservations)
     TenantRegistry reg(liveBudget(100_MiB));
     reg.setLivePressure([&pressure] { return pressure; });
     EXPECT_EQ(reg.offer(spec(1, 80_MiB)), Admission::kAdmitted);
+    // Each noteGaugeMarked() models the server re-marking the gauge
+    // window: the sample now covers the session just admitted, so its
+    // declared reserve leaves the unmeasured headroom term.
+    reg.noteGaugeMarked();
     EXPECT_EQ(reg.offer(spec(2, 80_MiB)), Admission::kAdmitted);
+    reg.noteGaugeMarked();
     EXPECT_EQ(reg.offer(spec(3, 80_MiB)), Admission::kAdmitted);
     EXPECT_EQ(reg.active(), 3u);
+}
+
+TEST(TenantRegistryLive, BackToBackOffersCountUnmeasuredAdmits)
+{
+    // Two offers inside one monitor tick see the same stale gauge
+    // sample. The first admit's declared reserve must count against
+    // the second offer's headroom, or a burst of arrivals lands 2x
+    // the budget of working sets on a tier whose measured pressure
+    // has not caught up yet.
+    uint64_t pressure = 10_MiB;
+    TenantRegistry reg(liveBudget(100_MiB));
+    reg.setLivePressure([&pressure] { return pressure; });
+    EXPECT_EQ(reg.offer(spec(1, 50_MiB)), Admission::kAdmitted);
+    EXPECT_EQ(reg.unmeasuredReserve(), 50_MiB);
+    EXPECT_EQ(reg.offer(spec(2, 50_MiB)), Admission::kQueued)
+        << "10 + 50 (unmeasured) + 50 exceeds the 100 MiB budget";
+    EXPECT_EQ(reg.active(), 1u);
+
+    // The window re-marks with tenant 1's real footprint in the
+    // sample: still no room at 60 MiB measured...
+    pressure = 60_MiB;
+    reg.noteGaugeMarked();
+    EXPECT_EQ(reg.unmeasuredReserve(), 0u);
+    EXPECT_TRUE(reg.pumpAdmission().empty());
+
+    // ...but once the measured gauge recedes, the waiter admits.
+    pressure = 45_MiB;
+    reg.noteGaugeMarked();
+    auto admitted = reg.pumpAdmission();
+    ASSERT_EQ(admitted.size(), 1u);
+    EXPECT_EQ(admitted[0].id, 2u);
+}
+
+TEST(TenantRegistryLive, ReleaseForgetsUnmeasuredReserve)
+{
+    // A session that admits and drains within one gauge window must
+    // not leave a ghost reserve behind blocking later arrivals.
+    uint64_t pressure = 10_MiB;
+    TenantRegistry reg(liveBudget(100_MiB));
+    reg.setLivePressure([&pressure] { return pressure; });
+    EXPECT_EQ(reg.offer(spec(1, 50_MiB)), Admission::kAdmitted);
+    reg.release(1);
+    EXPECT_EQ(reg.unmeasuredReserve(), 0u);
+    EXPECT_EQ(reg.offer(spec(2, 60_MiB)), Admission::kAdmitted);
 }
 
 TEST(TenantRegistryLive, HighPressureQueuesAndPumpAdmits)
@@ -151,13 +200,17 @@ TEST(TenantRegistryLive, HighPressureQueuesAndPumpAdmits)
     EXPECT_EQ(reg.queued(), 1u);
 
     // Pressure drops a little: still no room, pump admits nobody.
+    // (Each drop is a freshly measured window, so the registry is
+    // told the sample covers everything admitted so far.)
     pressure = 65_MiB;
+    reg.noteGaugeMarked();
     EXPECT_TRUE(reg.pumpAdmission().empty());
 
     // Pressure recedes enough: the pump admits the waiter with no
     // release having happened — headroom in live mode comes from the
     // gauge, not from reservations handed back.
     pressure = 55_MiB;
+    reg.noteGaugeMarked();
     auto admitted = reg.pumpAdmission();
     ASSERT_EQ(admitted.size(), 1u);
     EXPECT_EQ(admitted[0].id, 2u);

@@ -274,18 +274,24 @@ TEST(Server, SlaTrackerCountsViolations)
 TEST(ServerPressure, LiveAdmissionPacksOverstatedReservations)
 {
     // Reservations sum far past the budget, but the sessions' real
-    // working sets are small: static mode serializes the fleet
-    // (queues), live mode admits everyone up front.
+    // working sets are small. Arrivals are spaced a couple of
+    // admission ticks apart so each offer is judged against a freshly
+    // measured gauge window: static mode serializes the fleet
+    // (queues on paper reservations), live mode admits everyone.
     auto makeCfg = [](AdmissionMode mode) {
         ServeConfig cfg = smallConfig();
         cfg.admission = AdmissionConfig{64_MiB, 64, 64, mode};
+        cfg.engine.monitor_period = kNsPerMs;
         return cfg;
     };
     auto fleet = [] {
         std::vector<TenantSpec> v;
         for (runtime::StreamId id = 1; id <= 4; ++id) {
-            TenantSpec t = smallTenant(id);
+            // 200k records at 20 Mrec/s = 10 ms of ingest: every
+            // session outlives the whole arrival span.
+            TenantSpec t = smallTenant(id, 1, 200'000);
             t.hbm_reserve_bytes = 30_MiB; // 4 x 30 > 64 MiB budget
+            t.arrives_at = (id - 1) * 2 * kNsPerMs;
             v.push_back(t);
         }
         return v;
@@ -297,7 +303,7 @@ TEST(ServerPressure, LiveAdmissionPacksOverstatedReservations)
     uint64_t queued_static = 0;
     for (const TenantReport &r : stat.reports())
         queued_static += r.was_queued ? 1 : 0;
-    EXPECT_GE(queued_static, 2u) << "static mode must serialize";
+    EXPECT_EQ(queued_static, 2u) << "static mode must serialize";
 
     Server live(makeCfg(AdmissionMode::kLivePressure));
     live.submitFleet(fleet());
@@ -307,8 +313,37 @@ TEST(ServerPressure, LiveAdmissionPacksOverstatedReservations)
         EXPECT_FALSE(r.was_queued)
             << "live pressure is low: tenant " << r.spec.id
             << " must not wait on paper reservations";
-        EXPECT_EQ(r.records, 40'000u);
+        EXPECT_EQ(r.records, 200'000u);
     }
+}
+
+TEST(ServerPressure, AdmissionBurstJudgedAgainstUnmeasuredReserves)
+{
+    // The whole fleet arrives within one admission tick, so every
+    // offer sees the same stale (near-zero) gauge sample. The
+    // declared reserves of the sessions just admitted must count
+    // against the later offers: exactly two 30 MiB sessions fit the
+    // 64 MiB budget up front, the rest wait for a measured window —
+    // instead of the whole burst being waved through at 2x budget.
+    ServeConfig cfg = smallConfig();
+    cfg.admission =
+        AdmissionConfig{64_MiB, 64, 64, AdmissionMode::kLivePressure};
+    Server server(cfg);
+    for (runtime::StreamId id = 1; id <= 4; ++id) {
+        TenantSpec t = smallTenant(id);
+        t.hbm_reserve_bytes = 30_MiB;
+        server.submit(t);
+    }
+    server.run();
+
+    uint64_t queued = 0;
+    for (const TenantReport &r : server.reports()) {
+        EXPECT_EQ(r.admission, Admission::kAdmitted);
+        EXPECT_EQ(r.records, 40'000u) << "queued sessions still drain";
+        queued += r.was_queued ? 1 : 0;
+    }
+    EXPECT_EQ(queued, 2u)
+        << "one tick's admits must cap at the declared-reserve budget";
 }
 
 TEST(ServerPressure, LiveAdmissionReportsOccupancy)

@@ -1,0 +1,542 @@
+/**
+ * @file
+ * The sharded serving layer:
+ *  - ShardRegistry: load-vector placement onto the least-loaded shard
+ *    under per-shard budget slices, cross-shard migration accounting,
+ *    and the server-level determinism contract (same fleet, any
+ *    submission order => identical placement and per-tenant results);
+ *  - ShardPressure: the breach-escalation path — a pressure-director
+ *    sweep that cannot demote its way out of a high-water breach
+ *    fires the breach hook, and at the server level migrates the
+ *    shard's heaviest movable session to the emptiest shard with
+ *    record conservation across segments;
+ *  - Steal: idle shards run backlogged shards' non-urgent tasks with
+ *    every cost and completion charged to the home shard, without
+ *    breaking bit-identical repeatability.
+ */
+
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/units.h"
+#include "mem/pressure_director.h"
+#include "serve/load_driver.h"
+
+namespace sbhbm::serve {
+namespace {
+
+TenantSpec
+spec(runtime::StreamId id, uint64_t reserve, double rate = 0)
+{
+    TenantSpec t;
+    t.id = id;
+    t.name = "t" + std::to_string(id);
+    t.hbm_reserve_bytes = reserve;
+    t.offered_rate = rate;
+    return t;
+}
+
+AdmissionConfig
+shardedBudget(uint64_t bytes, uint32_t shards,
+              AdmissionMode mode = AdmissionMode::kStaticReservation)
+{
+    AdmissionConfig cfg;
+    cfg.hbm_budget_bytes = bytes;
+    cfg.shards = shards;
+    cfg.mode = mode;
+    return cfg;
+}
+
+// -------------------------------------------------------------------
+// ShardRegistry: placement + accounting
+// -------------------------------------------------------------------
+
+TEST(ShardRegistry, PlacesOnLeastLoadedShardTiesToLowestIndex)
+{
+    TenantRegistry reg(shardedBudget(400_MiB, 4));
+    EXPECT_EQ(reg.perShardBudget(), 100_MiB);
+
+    // A hot session pins shard 0's load far above the others.
+    EXPECT_EQ(reg.offer(spec(1, 10_MiB, 1e9)), Admission::kAdmitted);
+    EXPECT_EQ(reg.shardOf(1), 0u);
+    // Equal-load arrivals fan out over the empty shards in index
+    // order (stable ties).
+    for (runtime::StreamId id = 2; id <= 4; ++id) {
+        EXPECT_EQ(reg.offer(spec(id, 10_MiB, 1.0)), Admission::kAdmitted);
+        EXPECT_EQ(reg.shardOf(id), id - 1);
+    }
+    // Next arrival: shards 1..3 tie for least loaded, 0 is hot —
+    // lowest index among the tie wins, never the hot shard.
+    EXPECT_EQ(reg.offer(spec(5, 10_MiB, 1.0)), Admission::kAdmitted);
+    EXPECT_EQ(reg.shardOf(5), 1u);
+    EXPECT_EQ(reg.shardActive(0), 1u);
+    EXPECT_EQ(reg.shardActive(1), 2u);
+    EXPECT_GT(reg.shardLoad(0), reg.shardLoad(1));
+}
+
+TEST(ShardRegistry, PerShardBudgetGovernsAdmission)
+{
+    // 100 MiB over 4 shards: 25 MiB per shard.
+    TenantRegistry reg(shardedBudget(100_MiB, 4));
+
+    // Bigger than a whole shard's slice: can never fit anywhere.
+    EXPECT_EQ(reg.offer(spec(9, 30_MiB)), Admission::kRejected);
+    EXPECT_EQ(reg.rejected(), 1u);
+
+    // Four 20 MiB sessions land on four distinct shards.
+    for (runtime::StreamId id = 1; id <= 4; ++id) {
+        EXPECT_EQ(reg.offer(spec(id, 20_MiB)), Admission::kAdmitted);
+        EXPECT_EQ(reg.shardOf(id), id - 1);
+    }
+    // The fifth fits the global budget on paper (80 + 20 <= 100) but
+    // no single shard has 20 MiB of headroom left: it queues.
+    EXPECT_EQ(reg.offer(spec(5, 20_MiB)), Admission::kQueued);
+    EXPECT_EQ(reg.queued(), 1u);
+
+    // A release frees shard 0; the waiter lands exactly there.
+    const auto admitted = reg.release(1);
+    ASSERT_EQ(admitted.size(), 1u);
+    EXPECT_EQ(admitted[0].id, 5u);
+    EXPECT_EQ(reg.shardOf(5), 0u);
+    EXPECT_EQ(reg.gauge(0).used(), 20_MiB);
+    EXPECT_EQ(reg.queued(), 0u);
+}
+
+TEST(ShardRegistry, MigrateConservesGaugeAccounting)
+{
+    TenantRegistry reg(shardedBudget(80_MiB, 2)); // 40 MiB per shard
+    EXPECT_EQ(reg.offer(spec(1, 30_MiB)), Admission::kAdmitted);
+    EXPECT_EQ(reg.offer(spec(2, 30_MiB)), Admission::kAdmitted);
+    EXPECT_EQ(reg.shardOf(1), 0u);
+    EXPECT_EQ(reg.shardOf(2), 1u);
+
+    // Destination full: nothing moves, nothing leaks.
+    EXPECT_FALSE(reg.migrate(1, 1));
+    EXPECT_EQ(reg.shardOf(1), 0u);
+    EXPECT_EQ(reg.gauge(0).used(), 30_MiB);
+    EXPECT_EQ(reg.gauge(1).used(), 30_MiB);
+    EXPECT_EQ(reg.migrations(), 0u);
+
+    reg.release(2);
+    EXPECT_TRUE(reg.migrate(1, 1));
+    EXPECT_EQ(reg.shardOf(1), 1u);
+    EXPECT_EQ(reg.gauge(0).used(), 0u);
+    EXPECT_EQ(reg.gauge(1).used(), 30_MiB);
+    EXPECT_EQ(reg.migrations(), 1u);
+
+    // Same-shard migration is a successful no-op.
+    EXPECT_TRUE(reg.migrate(1, 1));
+    EXPECT_EQ(reg.migrations(), 1u);
+}
+
+TEST(ShardRegistry, LiveMigrationMovesUnmeasuredReserve)
+{
+    TenantRegistry reg(
+        shardedBudget(100_MiB, 2, AdmissionMode::kLivePressure));
+    EXPECT_EQ(reg.offer(spec(1, 20_MiB)), Admission::kAdmitted);
+    EXPECT_EQ(reg.shardOf(1), 0u);
+    EXPECT_EQ(reg.unmeasuredReserve(0), 20_MiB);
+
+    // The moved reserve is unmeasured on the destination until its
+    // gauge window covers it; the source's term drops immediately.
+    EXPECT_TRUE(reg.migrate(1, 1));
+    EXPECT_EQ(reg.unmeasuredReserve(0), 0u);
+    EXPECT_EQ(reg.unmeasuredReserve(1), 20_MiB);
+    reg.noteGaugeMarked(1);
+    EXPECT_EQ(reg.unmeasuredReserve(1), 0u);
+}
+
+// -------------------------------------------------------------------
+// ShardRegistry: server-level placement + determinism
+// -------------------------------------------------------------------
+
+ServeConfig
+shardedConfig(uint32_t shards)
+{
+    ServeConfig cfg;
+    cfg.engine.cores = 8;
+    cfg.engine.max_inflight_bundles = 256;
+    cfg.window_ns = 20 * kNsPerMs;
+    cfg.shards = shards;
+    return cfg;
+}
+
+TenantSpec
+shardTenant(runtime::StreamId id, uint64_t records = 30'000)
+{
+    TenantSpec t;
+    t.id = id;
+    t.name = "t" + std::to_string(id);
+    t.total_records = records;
+    t.bundle_records = 2'000;
+    t.offered_rate = 20e6;
+    t.poisson_arrivals = true;
+    t.hbm_reserve_bytes = 8_MiB;
+    t.max_inflight_bundles = 8;
+    return t;
+}
+
+/** The determinism anchors of one run, comparable bit for bit. */
+struct Fingerprint
+{
+    std::vector<uint32_t> shard;
+    std::vector<double> cpu_ns;
+    std::vector<uint64_t> hbm, dram, tasks, records, slots;
+    std::vector<double> p50, p99;
+
+    static Fingerprint
+    of(const Server &server)
+    {
+        Fingerprint f;
+        for (const TenantReport &r : server.reports()) {
+            f.shard.push_back(r.shard);
+            f.cpu_ns.push_back(r.cpu_ns);
+            f.hbm.push_back(r.hbm_bytes);
+            f.dram.push_back(r.dram_bytes);
+            f.tasks.push_back(r.tasks);
+            f.records.push_back(r.records);
+            f.slots.push_back(r.served_slots);
+            f.p50.push_back(r.p50_s);
+            f.p99.push_back(r.p99_s);
+        }
+        return f;
+    }
+
+    bool
+    operator==(const Fingerprint &o) const
+    {
+        return shard == o.shard && cpu_ns == o.cpu_ns && hbm == o.hbm
+               && dram == o.dram && tasks == o.tasks
+               && records == o.records && slots == o.slots
+               && p50 == o.p50 && p99 == o.p99;
+    }
+};
+
+TEST(ShardRegistry, FleetSpreadsAcrossShardsAndDrains)
+{
+    Server server(shardedConfig(4));
+    for (runtime::StreamId id = 1; id <= 8; ++id)
+        server.submit(shardTenant(id));
+    server.run();
+
+    ASSERT_EQ(server.reports().size(), 8u);
+    std::set<uint32_t> used;
+    std::vector<uint64_t> shard_tasks(4, 0);
+    for (const TenantReport &r : server.reports()) {
+        EXPECT_EQ(r.admission, Admission::kAdmitted);
+        EXPECT_EQ(r.records, 30'000u) << "tenant " << r.spec.id;
+        EXPECT_EQ(r.migrations, 0u);
+        used.insert(r.shard);
+        shard_tasks[r.shard] += r.tasks;
+        // Single-segment sessions: the report's task total is the
+        // home executor's per-stream count, nothing more.
+        EXPECT_EQ(r.tasks,
+                  server.engine(r.shard)
+                      .exec()
+                      .streamStats(r.spec.id)
+                      .completed)
+            << "tenant " << r.spec.id;
+    }
+    EXPECT_EQ(used.size(), 4u) << "8 equal sessions over 4 shards "
+                                  "must use every shard";
+    // Per-shard accounting closes: each executor completed exactly
+    // its residents' tasks (no stealing, no migration here).
+    for (uint32_t s = 0; s < 4; ++s)
+        EXPECT_EQ(server.engine(s).exec().completedTasks(),
+                  shard_tasks[s])
+            << "shard " << s;
+    EXPECT_GT(server.fairnessIndex(), 0.9);
+}
+
+std::vector<TenantSpec>
+shardedMixedFleet()
+{
+    std::vector<TenantSpec> fleet;
+    for (runtime::StreamId id = 1; id <= 8; ++id) {
+        TenantSpec t = shardTenant(id, id == 1 ? 60'000 : 30'000);
+        t.weight = id == 1 ? 4.0 : 1.0;
+        t.query = id % 2 == 0 ? queries::QueryId::kAvgPerKey
+                              : queries::QueryId::kSumPerKey;
+        t.offered_rate = id % 3 == 0 ? 8e6 : 20e6;
+        t.hbm_reserve_bytes = (id % 2 == 0 ? 4 : 8) * 1_MiB;
+        t.arrives_at = (id - 1) * 2 * kNsPerMs;
+        fleet.push_back(t);
+    }
+    return fleet;
+}
+
+TEST(ShardRegistry, PlacementAndResultsIndependentOfSubmissionOrder)
+{
+    Server a(shardedConfig(4));
+    a.submitFleet(shardedMixedFleet());
+    a.run();
+
+    // Same fleet, reversed submission order: identical placement and
+    // per-tenant results, bit for bit.
+    Server b(shardedConfig(4));
+    std::vector<TenantSpec> reversed = shardedMixedFleet();
+    std::reverse(reversed.begin(), reversed.end());
+    b.submitFleet(reversed);
+    b.run();
+
+    EXPECT_TRUE(Fingerprint::of(a) == Fingerprint::of(b))
+        << "shard assignment and per-tenant cost totals must not "
+           "depend on the order sessions were submitted in";
+
+    // And per-shard aggregates agree too.
+    for (uint32_t s = 0; s < 4; ++s) {
+        EXPECT_EQ(a.engine(s).exec().completedTasks(),
+                  b.engine(s).exec().completedTasks())
+            << "shard " << s;
+        EXPECT_EQ(a.engine(s).exec().spawnedTasks(),
+                  b.engine(s).exec().spawnedTasks())
+            << "shard " << s;
+    }
+}
+
+TEST(ShardRegistry, RepeatedShardedRunsAreBitIdentical)
+{
+    Server a(shardedConfig(4));
+    a.submitFleet(shardedMixedFleet());
+    a.run();
+
+    Server b(shardedConfig(4));
+    b.submitFleet(shardedMixedFleet());
+    b.run();
+
+    EXPECT_TRUE(Fingerprint::of(a) == Fingerprint::of(b));
+}
+
+// -------------------------------------------------------------------
+// ShardPressure: breach escalation
+// -------------------------------------------------------------------
+
+TEST(ShardPressure, BreachHookFiresWithResidualWhenNothingDemotes)
+{
+    auto mc = sim::MachineConfig::knl();
+    mc.hbm.capacity_bytes = 1_MiB;
+    mem::HybridMemory hm(mc, sim::MemoryMode::kFlat);
+    mem::PressureConfig pc;
+    pc.enabled = true;
+    pc.high_water = 0.80;
+    pc.low_water = 0.50;
+    mem::PressureDirector dir(hm, pc);
+
+    uint32_t fires = 0;
+    uint64_t residual = 0;
+    dir.setBreachHook([&](uint64_t want) {
+        ++fires;
+        residual = want;
+    });
+
+    // 15 x 64 KiB charged = 93.75% used, above high water — and no
+    // registered providers, so a full sweep demotes nothing.
+    std::vector<mem::Block> blocks;
+    for (int i = 0; i < 15; ++i)
+        blocks.push_back(hm.alloc(60_KiB, mem::Tier::kHbm, false, 1));
+
+    dir.tick();
+    EXPECT_EQ(fires, 1u);
+    EXPECT_EQ(dir.breachEscalations(), 1u);
+    // Residual pressure = used minus the low-water target.
+    EXPECT_EQ(residual, 960_KiB - 512_KiB);
+
+    // Below high water the hook stays quiet.
+    for (int i = 0; i < 10; ++i) {
+        hm.free(blocks.back());
+        blocks.pop_back();
+    }
+    dir.tick();
+    EXPECT_EQ(fires, 1u);
+    for (auto &b : blocks)
+        hm.free(b);
+}
+
+TEST(ShardPressure, UnrelievableBreachMigratesTenantAcrossShards)
+{
+    // One hot SumPerKey session whose single open window overruns a
+    // tiny HBM: with the default watermark cadence all state belongs
+    // to the target window, so the director finds nothing cold to
+    // demote and every breach escalates — the serving layer must
+    // migrate the session to the empty shard and still conserve its
+    // records across the drain-and-restart segments.
+    ServeConfig cfg;
+    cfg.engine.machine = sim::MachineConfig::knl();
+    cfg.engine.machine.hbm.capacity_bytes = 4ull << 20;
+    cfg.engine.cores = 4;
+    cfg.engine.max_inflight_bundles = 2048;
+    cfg.engine.monitor_period = kNsPerMs;
+    cfg.engine.pressure.enabled = true;
+    cfg.engine.pressure.high_water = 0.50;
+    cfg.engine.pressure.low_water = 0.40;
+    cfg.admission.hbm_budget_bytes = 64_MiB;
+    cfg.shards = 2;
+    cfg.shard_migration = true;
+
+    TenantSpec t;
+    t.id = 1;
+    t.name = "hot";
+    t.query = queries::QueryId::kSumPerKey;
+    t.total_records = 200'000;
+    t.bundle_records = 5'000;
+    t.offered_rate = 2e7;
+    t.hbm_reserve_bytes = 1_MiB;
+    t.max_inflight_bundles = 64;
+
+    Server server(cfg);
+    server.submit(t);
+    server.run();
+
+    ASSERT_EQ(server.reports().size(), 1u);
+    const TenantReport &r = server.reports()[0];
+    EXPECT_EQ(r.admission, Admission::kAdmitted);
+    EXPECT_GE(r.migrations, 1u) << "an unrelievable breach must "
+                                   "escalate into a shard migration";
+    EXPECT_EQ(server.registry().migrations(), uint64_t{r.migrations});
+    EXPECT_GE(server.engine(0).director().breachEscalations(), 1u);
+    // Conservation across segments: every record of the original
+    // session was ingested exactly once, somewhere in the fleet.
+    EXPECT_EQ(r.records, 200'000u);
+    EXPECT_GT(r.output_records, 0u);
+    EXPECT_LT(r.shard, 2u);
+}
+
+TEST(ShardPressure, MigrationRunsAreBitIdentical)
+{
+    auto run = [] {
+        ServeConfig cfg;
+        cfg.engine.machine = sim::MachineConfig::knl();
+        cfg.engine.machine.hbm.capacity_bytes = 4ull << 20;
+        cfg.engine.cores = 4;
+        cfg.engine.max_inflight_bundles = 2048;
+        cfg.engine.monitor_period = kNsPerMs;
+        cfg.engine.pressure.enabled = true;
+        cfg.engine.pressure.high_water = 0.50;
+        cfg.engine.pressure.low_water = 0.40;
+        cfg.admission.hbm_budget_bytes = 64_MiB;
+        cfg.shards = 2;
+        cfg.shard_migration = true;
+
+        TenantSpec t;
+        t.id = 1;
+        t.query = queries::QueryId::kSumPerKey;
+        t.total_records = 200'000;
+        t.bundle_records = 5'000;
+        t.offered_rate = 2e7;
+        t.hbm_reserve_bytes = 1_MiB;
+        t.max_inflight_bundles = 64;
+
+        auto server = std::make_unique<Server>(cfg);
+        server->submit(t);
+        server->run();
+        return server;
+    };
+
+    auto a = run();
+    auto b = run();
+    EXPECT_TRUE(Fingerprint::of(*a) == Fingerprint::of(*b));
+    EXPECT_EQ(a->reports()[0].migrations, b->reports()[0].migrations);
+}
+
+// -------------------------------------------------------------------
+// Steal: cross-shard work stealing
+// -------------------------------------------------------------------
+
+ServeConfig
+stealConfig()
+{
+    ServeConfig cfg;
+    cfg.engine.cores = 2;
+    cfg.engine.max_inflight_bundles = 256;
+    cfg.engine.monitor_period = kNsPerMs;
+    cfg.window_ns = 20 * kNsPerMs;
+    cfg.shards = 2;
+    cfg.work_stealing = true;
+    return cfg;
+}
+
+std::vector<TenantSpec>
+stealFleet()
+{
+    // A heavy session saturates shard 0's two cores; a light one
+    // placed on shard 1 (smaller load vector) drains quickly and
+    // leaves that shard idle with most of the heavy backlog left.
+    TenantSpec heavy;
+    heavy.id = 1;
+    heavy.name = "heavy";
+    heavy.total_records = 100'000;
+    heavy.bundle_records = 1'000;
+    heavy.offered_rate = 5e7;
+    heavy.poisson_arrivals = true;
+    heavy.hbm_reserve_bytes = 8_MiB;
+    heavy.max_inflight_bundles = 32;
+
+    TenantSpec light;
+    light.id = 2;
+    light.name = "light";
+    light.total_records = 5'000;
+    light.bundle_records = 1'000;
+    light.offered_rate = 5e6;
+    light.poisson_arrivals = true;
+    light.hbm_reserve_bytes = 1_MiB;
+    light.max_inflight_bundles = 8;
+
+    return {heavy, light};
+}
+
+TEST(Steal, IdleShardLendsCyclesChargedHome)
+{
+    Server server(stealConfig());
+    server.submitFleet(stealFleet());
+    server.run();
+
+    ASSERT_EQ(server.reports().size(), 2u);
+    const TenantReport &heavy = server.reports()[0];
+    const TenantReport &light = server.reports()[1];
+    EXPECT_EQ(heavy.shard, 0u);
+    EXPECT_EQ(light.shard, 1u);
+    EXPECT_EQ(heavy.records, 100'000u);
+    EXPECT_EQ(light.records, 5'000u);
+
+    const auto &exec0 = server.engine(0).exec();
+    const auto &exec1 = server.engine(1).exec();
+    EXPECT_GT(exec1.stolenIn(), 0u)
+        << "the drained shard must steal from the backlogged one";
+    // Conservation: every task stolen out of some shard ran on some
+    // other shard, fleet-wide.
+    EXPECT_EQ(exec0.stolenOut() + exec1.stolenOut(),
+              exec0.stolenIn() + exec1.stolenIn());
+
+    // Charged home: the thief books no work against the victim's
+    // stream — spawn, completion, and cost totals all stay with the
+    // home executor, so the report equals the home stream count.
+    EXPECT_EQ(exec1.streamStats(1).spawned, 0u);
+    EXPECT_EQ(exec1.streamStats(1).completed, 0u);
+    EXPECT_EQ(exec0.streamStats(1).completed, heavy.tasks);
+    EXPECT_EQ(exec0.streamStats(1).spawned,
+              exec0.streamStats(1).completed);
+}
+
+TEST(Steal, StealingRunsAreBitIdentical)
+{
+    auto run = [] {
+        auto server = std::make_unique<Server>(stealConfig());
+        server->submitFleet(stealFleet());
+        server->run();
+        return server;
+    };
+    auto a = run();
+    auto b = run();
+    EXPECT_TRUE(Fingerprint::of(*a) == Fingerprint::of(*b));
+    EXPECT_EQ(a->engine(1).exec().stolenIn(),
+              b->engine(1).exec().stolenIn());
+    EXPECT_EQ(a->engine(0).exec().stolenOut(),
+              b->engine(0).exec().stolenOut());
+}
+
+} // namespace
+} // namespace sbhbm::serve
