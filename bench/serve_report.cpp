@@ -19,8 +19,17 @@
  * pooled latency percentiles, fairness, host wall-clock, and a
  * per-shard breakdown (sessions placed, tasks completed, records) —
  * with the accounting identity "each executor completed exactly its
- * residents' tasks" checked as a shape test. Written to
- * BENCH_serve.json (schema sbhbm-serve-v3) for the CI artifact.
+ * residents' tasks" checked as a shape test.
+ *
+ * The failover sweep runs a 64-session recoverable fleet through a
+ * fixed two-crash fault plan at increasing checkpoint cadences
+ * (scratch-restart first) and reports the recovery economics per
+ * point — checkpoints cut, copy/reuse bytes, records replayed,
+ * downtime — with the exactly-once acceptance checked as shape
+ * tests: no session lost, records conserved across the replay, and
+ * every point's per-window output bit-identical to the fault-free
+ * baseline. Written to BENCH_serve.json (schema sbhbm-serve-v4) for
+ * the CI artifact.
  *
  * Usage: serve_report [--smoke] [--out <path>]
  */
@@ -274,6 +283,112 @@ runShardPoint(uint32_t tenants, uint32_t shards, bool smoke)
     return p;
 }
 
+// -------------------------------------------------------------------
+// Failover sweep
+// -------------------------------------------------------------------
+
+struct FailoverPoint
+{
+    SimTime checkpoint_period = 0;
+    double aggregate_mrps = 0;
+    uint64_t crashes = 0;
+    uint64_t recoveries = 0;
+    uint64_t lost = 0;
+    uint64_t checkpoints = 0;
+    uint64_t copied_bytes = 0;
+    uint64_t reused_bytes = 0;
+    uint64_t records_replayed = 0;
+    uint64_t suppressed_records = 0;
+    double mean_downtime_ms = 0;
+    bool output_identical = true; //!< per-window output == baseline
+    bool conserved = true;        //!< ingest + shed == offered + replay
+};
+
+/** The recoverable fleet every failover point serves: the shard-sweep
+ *  mix under logical event time (replay needs it). */
+std::vector<serve::TenantSpec>
+failoverFleet(bool smoke)
+{
+    serve::FleetConfig fleet;
+    fleet.tenants = 64;
+    fleet.seed = 42;
+    fleet.hot_records = smoke ? 20'000 : 40'000;
+    fleet.cold_records = smoke ? 5'000 : 10'000;
+    fleet.bundle_records = 1'000;
+    fleet.hot_rate = 5e6;
+    fleet.cold_rate = 1e6;
+    fleet.hot_hbm_reserve = 8_MiB;
+    fleet.cold_hbm_reserve = 2_MiB;
+    fleet.arrival_span = 0;
+    fleet.max_inflight_bundles = 8;
+    std::vector<serve::TenantSpec> specs = serve::makeFleet(fleet);
+    for (serve::TenantSpec &t : specs)
+        t.logical_time = true;
+    return specs;
+}
+
+serve::ServeConfig
+failoverConfig(SimTime checkpoint_period)
+{
+    serve::ServeConfig cfg;
+    cfg.engine.machine = sim::MachineConfig::knl();
+    cfg.engine.cores = kCores;
+    cfg.engine.max_inflight_bundles = 1024;
+    cfg.window_ns = kNsPerMs;
+    cfg.shards = 4;
+    cfg.fault.enabled = true;
+    cfg.fault.checkpoint_period = checkpoint_period;
+    return cfg;
+}
+
+/**
+ * One failover point: the fleet under a fixed two-crash plan (shards
+ * 1 and 2 die mid-stream) at the given checkpoint cadence, compared
+ * window for window against the fault-free @p baseline reports.
+ */
+FailoverPoint
+runFailoverPoint(SimTime checkpoint_period, bool smoke,
+                 const std::vector<TenantReport> &baseline)
+{
+    serve::ServeConfig cfg = failoverConfig(checkpoint_period);
+    const SimTime span = smoke ? 4 * kNsPerMs : 8 * kNsPerMs;
+    cfg.fault.plan.crash(span * 2 / 5, 1).crash(span * 7 / 10, 2);
+    serve::Server server(cfg);
+    server.submitFleet(failoverFleet(smoke));
+    server.run();
+
+    FailoverPoint p;
+    p.checkpoint_period = checkpoint_period;
+    p.aggregate_mrps = server.aggregateMrps();
+    uint64_t downtime_ns = 0;
+    const auto &reports = server.reports();
+    for (size_t i = 0; i < reports.size(); ++i) {
+        const TenantReport &r = reports[i];
+        p.crashes += r.crashes;
+        p.recoveries += r.recoveries;
+        p.lost += r.lost ? 1 : 0;
+        p.checkpoints += r.checkpoints;
+        p.copied_bytes += r.checkpoint_copied_bytes;
+        p.reused_bytes += r.checkpoint_reused_bytes;
+        p.records_replayed += r.records_replayed;
+        p.suppressed_records += r.suppressed_records;
+        downtime_ns += r.downtime_ns;
+        if (!r.lost
+            && r.records + r.records_shed
+                   != r.spec.total_records + r.records_replayed)
+            p.conserved = false;
+        const TenantReport &b = baseline[i];
+        if (r.window_records != b.window_records
+            || r.window_checksums != b.window_checksums)
+            p.output_identical = false;
+    }
+    p.mean_downtime_ms =
+        p.recoveries > 0
+            ? static_cast<double>(downtime_ns) / p.recoveries / 1e6
+            : 0.0;
+    return p;
+}
+
 void
 writePoint(std::FILE *f, const Point &p, const char *indent,
            const char *trailer)
@@ -352,16 +467,51 @@ writeShardPoint(std::FILE *f, const ShardPoint &p, const char *indent,
     std::fprintf(f, "%s}%s\n", indent, trailer);
 }
 
+void
+writeFailoverPoint(std::FILE *f, const FailoverPoint &p,
+                   const char *indent, const char *trailer)
+{
+    std::fprintf(f, "%s{\n", indent);
+    std::fprintf(f, "%s  \"checkpoint_period_ms\": %.3f,\n", indent,
+                 static_cast<double>(p.checkpoint_period) / 1e6);
+    std::fprintf(f, "%s  \"aggregate_mrps\": %.3f,\n", indent,
+                 p.aggregate_mrps);
+    std::fprintf(f, "%s  \"crashes\": %llu,\n", indent,
+                 static_cast<unsigned long long>(p.crashes));
+    std::fprintf(f, "%s  \"recoveries\": %llu,\n", indent,
+                 static_cast<unsigned long long>(p.recoveries));
+    std::fprintf(f, "%s  \"lost\": %llu,\n", indent,
+                 static_cast<unsigned long long>(p.lost));
+    std::fprintf(f, "%s  \"checkpoints\": %llu,\n", indent,
+                 static_cast<unsigned long long>(p.checkpoints));
+    std::fprintf(f, "%s  \"copied_bytes\": %llu,\n", indent,
+                 static_cast<unsigned long long>(p.copied_bytes));
+    std::fprintf(f, "%s  \"reused_bytes\": %llu,\n", indent,
+                 static_cast<unsigned long long>(p.reused_bytes));
+    std::fprintf(f, "%s  \"records_replayed\": %llu,\n", indent,
+                 static_cast<unsigned long long>(p.records_replayed));
+    std::fprintf(f, "%s  \"suppressed_records\": %llu,\n", indent,
+                 static_cast<unsigned long long>(p.suppressed_records));
+    std::fprintf(f, "%s  \"mean_downtime_ms\": %.3f,\n", indent,
+                 p.mean_downtime_ms);
+    std::fprintf(f, "%s  \"output_identical\": %s,\n", indent,
+                 p.output_identical ? "true" : "false");
+    std::fprintf(f, "%s  \"conserved\": %s\n", indent,
+                 p.conserved ? "true" : "false");
+    std::fprintf(f, "%s}%s\n", indent, trailer);
+}
+
 bool
 writeJson(const std::string &path, const std::vector<Point> &points,
           const Point &overload,
-          const std::vector<ShardPoint> &shard_points)
+          const std::vector<ShardPoint> &shard_points,
+          const std::vector<FailoverPoint> &failover_points)
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (f == nullptr)
         return false;
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": \"sbhbm-serve-v3\",\n");
+    std::fprintf(f, "  \"schema\": \"sbhbm-serve-v4\",\n");
     std::fprintf(f, "  \"cores\": %u,\n", kCores);
     std::fprintf(f, "  \"points\": [\n");
     for (size_t i = 0; i < points.size(); ++i)
@@ -374,6 +524,11 @@ writeJson(const std::string &path, const std::vector<Point> &points,
     for (size_t i = 0; i < shard_points.size(); ++i)
         writeShardPoint(f, shard_points[i], "    ",
                         i + 1 < shard_points.size() ? "," : "");
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"failover_sweep\": [\n");
+    for (size_t i = 0; i < failover_points.size(); ++i)
+        writeFailoverPoint(f, failover_points[i], "    ",
+                           i + 1 < failover_points.size() ? "," : "");
     std::fprintf(f, "  ]\n");
     std::fprintf(f, "}\n");
     return std::fclose(f) == 0;
@@ -459,6 +614,39 @@ main(int argc, char **argv)
                 "shard-sweep wall-clock is a single-thread baseline "
                 "to re-measure on a multicore box.\n");
 
+    // The failover sweep: a fault-free baseline run of the same
+    // recoverable fleet anchors the exactly-once comparison (output
+    // content is a pure function of the records, so one baseline
+    // serves every checkpoint cadence).
+    std::vector<TenantReport> ft_baseline;
+    {
+        serve::Server server(failoverConfig(0));
+        server.submitFleet(failoverFleet(smoke));
+        server.run();
+        ft_baseline = server.reports();
+    }
+    const std::vector<SimTime> ft_periods = {0, kNsPerMs, 2 * kNsPerMs};
+    bench::Table ftable("Serving layer — failover sweep (64 tenants, "
+                        "4 shards, 2 crashes)");
+    ftable.header({"ckpt ms", "agg Mrec/s", "recoveries", "ckpts",
+                   "copied MB", "replayed", "downtime ms", "identical"});
+    std::vector<FailoverPoint> failover_points;
+    for (SimTime period : ft_periods) {
+        FailoverPoint p = runFailoverPoint(period, smoke, ft_baseline);
+        ftable.row({bench::Table::num(
+                        static_cast<double>(period) / 1e6, 1),
+                    bench::Table::num(p.aggregate_mrps, 2),
+                    bench::Table::num(p.recoveries),
+                    bench::Table::num(p.checkpoints),
+                    bench::Table::num(
+                        static_cast<double>(p.copied_bytes) / 1e6, 1),
+                    bench::Table::num(p.records_replayed),
+                    bench::Table::num(p.mean_downtime_ms, 2),
+                    p.output_identical ? "yes" : "NO"});
+        failover_points.push_back(p);
+    }
+    ftable.print();
+
     // Shape checks: admission must have run everyone, a lone tenant
     // cannot be unfair to itself, and fairness must hold at scale.
     bench::shapeCheck("all sweep points admitted every tenant", [&] {
@@ -523,8 +711,46 @@ main(int argc, char **argv)
                     return false;
         return true;
     }());
+    bench::shapeCheck("failover sweep crashes and recovers sessions", [&] {
+        for (const FailoverPoint &p : failover_points)
+            if (p.crashes == 0 || p.recoveries == 0)
+                return false;
+        return true;
+    }());
+    bench::shapeCheck("failover sweep loses no session", [&] {
+        for (const FailoverPoint &p : failover_points)
+            if (p.lost != 0)
+                return false;
+        return true;
+    }());
+    bench::shapeCheck("recovered output bit-identical to fault-free run",
+                      [&] {
+                          for (const FailoverPoint &p : failover_points)
+                              if (!p.output_identical)
+                                  return false;
+                          return true;
+                      }());
+    bench::shapeCheck("records conserved across crash replay", [&] {
+        for (const FailoverPoint &p : failover_points)
+            if (!p.conserved)
+                return false;
+        return true;
+    }());
+    bench::shapeCheck("checkpoints bound the replay", [&] {
+        // Scratch-restart (period 0) replays the whole consumed
+        // prefix; any checkpoint cadence must replay strictly less.
+        for (const FailoverPoint &p : failover_points) {
+            if (p.checkpoint_period == 0)
+                continue;
+            if (p.checkpoints == 0 || p.copied_bytes == 0
+                || p.records_replayed
+                       >= failover_points.front().records_replayed)
+                return false;
+        }
+        return true;
+    }());
 
-    if (!writeJson(out, points, ovl, shard_points)) {
+    if (!writeJson(out, points, ovl, shard_points, failover_points)) {
         std::fprintf(stderr, "serve_report: cannot write %s\n",
                      out.c_str());
         return 1;

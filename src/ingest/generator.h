@@ -40,6 +40,15 @@ class Generator
     virtual void fill(columnar::Bundle &b, uint32_t n, EventTime t0,
                       EventTime t1) = 0;
 
+    /**
+     * Advance the generator past @p n records without producing them,
+     * leaving it in exactly the state a fill() of @p n records would
+     * have: record i + n of a skipped stream is bit-identical to
+     * record i + n of a filled one. Replay-from-checkpoint recovery
+     * uses this to fast-forward a restored source to its offset.
+     */
+    virtual void skipRecords(uint64_t n) = 0;
+
   protected:
     /** Evenly spaced timestamp for record @p i of @p n in [t0, t1). */
     static EventTime
@@ -84,6 +93,14 @@ class KvGen : public Generator
             if (secondary_)
                 row[kKey2Col] = rng_.nextBounded(key2_range_);
         }
+    }
+
+    void
+    skipRecords(uint64_t n) override
+    {
+        const uint64_t draws = secondary_ ? 3 : 2;
+        for (uint64_t i = 0; i < n * draws; ++i)
+            rng_.next();
     }
 
   private:
@@ -135,6 +152,13 @@ class YsbGen : public Generator
             row[kEventTypeCol] = rng_.nextBounded(kEventTypes);
             row[kIpCol] = rng_.next();
         }
+    }
+
+    void
+    skipRecords(uint64_t n) override
+    {
+        for (uint64_t i = 0; i < n * 6; ++i)
+            rng_.next();
     }
 
     /** The external ad_id -> campaign_id table (small, HBM). */
@@ -195,6 +219,13 @@ class PowerGridGen : public Generator
             row[kTsCol] = tsOf(i, n, t0, t1);
             row[kHouseCol] = plug / plugs_per_house_;
         }
+    }
+
+    void
+    skipRecords(uint64_t n) override
+    {
+        for (uint64_t i = 0; i < n * 2; ++i)
+            rng_.next();
     }
 
   private:

@@ -70,6 +70,28 @@ struct SourceConfig
      */
     bool poisson_arrivals = false;
     uint64_t arrival_seed = 1;
+
+    /**
+     * Logical event time: stamp record i of the stream at
+     * i / offered_rate seconds instead of its delivery time. Delivery
+     * *pacing* is unchanged (NIC, back-pressure, Poisson gaps); only
+     * the timestamps written into records become a pure function of
+     * stream position. That is what makes replay exact: a restored
+     * source re-delivering records [k, n) produces bit-identical
+     * bundles, window assignments and watermarks no matter when the
+     * replay happens. Requires offered_rate > 0. Off by default —
+     * every pre-fault-tolerance run keeps delivery-time stamping.
+     */
+    bool logical_time = false;
+
+    /**
+     * Start the stream at this record offset: the generator is
+     * fast-forwarded past the prefix and, under logical time, the
+     * clock starts at the offset's timestamp. total_records still
+     * counts the records *this* source delivers (the recovery layer
+     * sets it to the remainder). Replay-from-checkpoint recovery.
+     */
+    uint64_t start_record = 0;
 };
 
 /** Simulated sender + NIC + ingestion loop. */
@@ -86,6 +108,10 @@ class Source
         sbhbm_assert(cfg_.nic_bw > 0, "NIC bandwidth must be positive");
         sbhbm_assert(!cfg_.poisson_arrivals || cfg_.offered_rate > 0,
                      "poisson arrivals need an offered rate");
+        sbhbm_assert(!cfg_.logical_time || cfg_.offered_rate > 0,
+                     "logical event time needs an offered rate");
+        sbhbm_assert(cfg_.start_record == 0 || cfg_.logical_time,
+                     "replay offsets need logical event time");
     }
 
     Source(const Source &) = delete;
@@ -97,13 +123,43 @@ class Source
     {
         sbhbm_assert(!started_, "source started twice");
         started_ = true;
-        last_delivery_ = eng_.machine().now();
+        if (cfg_.start_record > 0)
+            gen_.skipRecords(cfg_.start_record);
+        last_delivery_ = cfg_.logical_time ? logicalTs(cfg_.start_record)
+                                           : eng_.machine().now();
         scheduleNext();
     }
 
     uint64_t recordsIngested() const { return records_ingested_; }
     uint64_t bundlesIngested() const { return bundles_ingested_; }
     bool finished() const { return finished_; }
+
+    /** Records consumed from the stream but dropped (shed/faults). */
+    uint64_t recordsShed() const { return records_shed_; }
+
+    /** Bundle-sized drops consumed by shedding so far. */
+    uint64_t bundlesShed() const { return bundles_shed_; }
+
+    /** Stream offset this source started replaying from. */
+    uint64_t startRecord() const { return cfg_.start_record; }
+
+    /**
+     * Absolute stream position: records of the underlying stream
+     * consumed so far, including the replay offset and shed records.
+     * This is the offset a checkpoint stores and a restored source
+     * passes as start_record.
+     */
+    uint64_t
+    streamPosition() const
+    {
+        return cfg_.start_record + records_ingested_ + records_shed_;
+    }
+
+    /** Highest watermark emitted downstream so far. */
+    EventTime emittedWatermark() const { return emitted_wm_; }
+
+    /** Event timestamps are a pure function of stream position. */
+    bool logicalTime() const { return cfg_.logical_time; }
 
     /**
      * Stop the stream early: cap total_records at what has already
@@ -114,10 +170,81 @@ class Source
      * restart the remainder there); a bundle already in flight still
      * lands and is counted, keeping records conservation exact.
      */
-    void truncate() { cfg_.total_records = records_ingested_; }
+    void truncate() { cfg_.total_records = records_ingested_ + records_shed_; }
 
     /** Records the stream was configured to deliver in total. */
     uint64_t totalRecords() const { return cfg_.total_records; }
+
+    // ---------------------------------------------------------------
+    // Fault-tolerance controls (checkpoint quiesce + injected faults).
+    // ---------------------------------------------------------------
+
+    /**
+     * Pause delivery (checkpoint quiesce). Already-scheduled
+     * deliveries still land; once deliveryIdle() reports true the
+     * ingestion stage is empty and no further records will move until
+     * resume().
+     */
+    void pause() { paused_ = true; }
+
+    /** Resume a paused source. */
+    void
+    resume()
+    {
+        if (!paused_)
+            return;
+        paused_ = false;
+        if (parked_) {
+            parked_ = false;
+            if (!halted_)
+                scheduleNext();
+        }
+    }
+
+    /**
+     * Stop this source forever (its shard crashed). Unlike truncate()
+     * it never emits the final watermark — the stream did not end, it
+     * died; the recovery layer replays it elsewhere.
+     */
+    void
+    halt()
+    {
+        halted_ = true;
+        paused_ = false;
+    }
+
+    bool halted() const { return halted_; }
+
+    /**
+     * True when no delivery is scheduled or in flight and every
+     * delivered bundle was forwarded downstream — together with an
+     * idle executor stream this is full quiescence.
+     */
+    bool
+    deliveryIdle() const
+    {
+        return !delivery_pending_ && ready_.empty()
+               && next_forward_seq_ == next_deliver_seq_;
+    }
+
+    /** Injected fault: deliver nothing until @p until (virtual time). */
+    void
+    stallUntil(SimTime until)
+    {
+        stalled_until_ = std::max(stalled_until_, until);
+    }
+
+    /** Injected fault: shed the next @p n bundles. */
+    void dropBundles(uint64_t n) { drop_bundles_ += n; }
+
+    /**
+     * SLA-aware load shedding: while set, arriving bundles are
+     * consumed from the stream but dropped (counted in
+     * recordsShed()), relieving memory/compute pressure at the price
+     * of lossy windows. The serving layer flips this on sessions with
+     * SLA headroom while their engine is in allocation distress.
+     */
+    void setShedding(bool on) { shedding_ = on; }
 
     /** One ingestion checkpoint: cumulative records at a sim time. */
     struct Checkpoint
@@ -168,15 +295,41 @@ class Source
     void onFinished(std::function<void()> fn) { on_finished_ = std::move(fn); }
 
   private:
+    /** Records consumed from the stream so far (delivered or shed). */
+    uint64_t consumed() const { return records_ingested_ + records_shed_; }
+
+    /** Logical timestamp of absolute stream position @p pos. */
+    EventTime
+    logicalTs(uint64_t pos) const
+    {
+        return static_cast<EventTime>(static_cast<double>(pos) * 1e9
+                                      / cfg_.offered_rate);
+    }
+
     void
     scheduleNext()
     {
-        if (records_ingested_ >= cfg_.total_records) {
+        if (halted_)
+            return;
+        if (paused_) {
+            parked_ = true;
+            return;
+        }
+        if (consumed() >= cfg_.total_records) {
             all_delivered_ = true;
             // finish() fires from forward() once the ingestion stage
             // drains; handle the empty-stream edge case here.
             if (next_forward_seq_ == next_deliver_seq_)
                 finish();
+            return;
+        }
+        // Injected ingest stall: the sender goes dark until the
+        // deadline. Watermarks may still advance over the gap (no
+        // data can arrive before what was already sent).
+        if (stalled_until_ > eng_.machine().now()) {
+            const SimTime until = stalled_until_;
+            advanceIdleWatermark();
+            eng_.machine().at(until, [this] { scheduleNext(); });
             return;
         }
         // While the pipeline lags (late output — or no output yet, so
@@ -202,12 +355,31 @@ class Source
                 std::max<SimTime>(100 * pipe_.windows().width,
                                   10 * kNsPerSec);
             if (now - backpressured_since_ > limit) {
+                // Structured wedge diagnostic: name the stuck stream,
+                // what it holds, and how far the watermark lags the
+                // window it is waiting for — enough to size the
+                // budget without re-running under a debugger.
+                const auto &spec = pipe_.windows();
+                const columnar::WindowId oldest = pipe_.targetWindow();
+                const SimTime gap =
+                    spec.end(oldest) > emitted_wm_
+                        ? spec.end(oldest) - emitted_wm_
+                        : 0;
                 sbhbm_fatal(
-                    "ingestion back-pressured for %.1f s: "
-                    "max_inflight_bundles (%u) cannot cover one "
-                    "window; raise it or shrink the window",
-                    simToSeconds(now - backpressured_since_),
-                    eng_.config().max_inflight_bundles);
+                    "ingestion wedged: stream %u back-pressured for "
+                    "%.1f s holding %u in-flight bundles "
+                    "(per-stream budget, engine cap %u); oldest open "
+                    "window %llu needs watermark %.3f ms but the "
+                    "source has only emitted %.3f ms (gap %.3f ms) — "
+                    "max_inflight_bundles cannot cover one window; "
+                    "raise it or shrink the window",
+                    stream_, simToSeconds(now - backpressured_since_),
+                    eng_.inflightBundles(stream_),
+                    eng_.config().max_inflight_bundles,
+                    (unsigned long long)oldest,
+                    static_cast<double>(spec.end(oldest)) / kNsPerMs,
+                    static_cast<double>(emitted_wm_) / kNsPerMs,
+                    static_cast<double>(gap) / kNsPerMs);
             }
             // While the sender is paused no record with an earlier
             // timestamp can ever arrive (event time == delivery
@@ -223,7 +395,7 @@ class Source
 
         const auto n = static_cast<uint32_t>(
             std::min<uint64_t>(cfg_.bundle_records,
-                               cfg_.total_records - records_ingested_));
+                               cfg_.total_records - consumed()));
         const uint64_t bytes = uint64_t{n} * gen_.cols() * sizeof(uint64_t);
         double dt_sec = static_cast<double>(bytes) / cfg_.nic_bw;
         if (cfg_.offered_rate > 0) {
@@ -232,6 +404,7 @@ class Source
                 gap *= arrival_rng_.nextExp();
             dt_sec = std::max(dt_sec, gap);
         }
+        delivery_pending_ = true;
         eng_.machine().after(secondsToSim(dt_sec),
                              [this, n] { deliver(n); });
     }
@@ -262,12 +435,44 @@ class Source
     void
     deliver(uint32_t n)
     {
+        delivery_pending_ = false;
+        if (halted_)
+            return;
         const SimTime now = eng_.machine().now();
-        auto *b = columnar::Bundle::create(eng_.memory(), gen_.cols(), n);
+        const EventTime t0 = last_delivery_;
+        const EventTime t1 = cfg_.logical_time
+                                 ? logicalTs(cfg_.start_record
+                                             + consumed() + n)
+                                 : now;
+
+        // Shedding (injected drops, or distress-mode load shedding):
+        // consume the records from the stream without materializing
+        // them. The generator still advances n records, so replay and
+        // later bundles stay bit-identical to their stream position;
+        // watermark progress follows, so windows close (with less
+        // data — lossy by design, and counted).
+        if (drop_bundles_ > 0 || shedding_) {
+            if (drop_bundles_ > 0)
+                --drop_bundles_;
+            shed(n, t1);
+            return;
+        }
+
+        columnar::Bundle *b = nullptr;
+        try {
+            b = columnar::Bundle::create(eng_.memory(), gen_.cols(), n);
+        } catch (const mem::AllocFailure &) {
+            // Ingest allocation failed (injected OOM or genuine
+            // exhaustion under typed-error mode): this bundle is shed
+            // and the engine's distress backoff decides what happens
+            // to the ones after it.
+            shed(n, t1);
+            return;
+        }
         sbhbm_assert(last_delivery_ >= emitted_wm_,
                      "source would violate its own watermark");
-        gen_.fill(*b, n, last_delivery_, now);
-        last_delivery_ = now;
+        gen_.fill(*b, n, t0, t1);
+        last_delivery_ = t1;
         records_ingested_ += n;
         ++bundles_ingested_;
         marks_.push_back(Checkpoint{now, records_ingested_});
@@ -285,7 +490,7 @@ class Source
 
         auto handle = columnar::BundleHandle::adopt(b);
         const EventTime min_ts = handle->row(0)[gen_.tsCol()];
-        const EventTime end_ts = now;
+        const EventTime end_ts = t1;
         const uint64_t seq = next_deliver_seq_++;
 
         // The NIC keeps streaming while ingestion bookkeeping runs.
@@ -319,6 +524,22 @@ class Source
                 },
                 stream_);
         }
+    }
+
+    /** Consume @p n records from the stream without delivering them. */
+    void
+    shed(uint32_t n, EventTime t1)
+    {
+        gen_.skipRecords(n);
+        records_shed_ += n;
+        ++bundles_shed_;
+        last_delivery_ = std::max(last_delivery_, t1);
+        // Watermark progress over the hole — but only when nothing is
+        // still inside the ingestion stage (a watermark must not
+        // overtake a bundle awaiting forward()).
+        if (ready_.empty() && next_forward_seq_ == next_deliver_seq_)
+            maybeEmitWatermark(last_delivery_);
+        scheduleNext();
     }
 
     /**
@@ -359,6 +580,12 @@ class Source
             return;
         if (!ready_.empty() || next_forward_seq_ != next_deliver_seq_)
             return;
+        if (cfg_.logical_time) {
+            // Logical clocks advance with stream position, not wall
+            // time: everything up to the current position is final.
+            maybeEmitWatermark(last_delivery_);
+            return;
+        }
         const SimTime now = eng_.machine().now();
         maybeEmitWatermark(now);
         // Records delivered after the stall must be stamped after the
@@ -424,6 +651,15 @@ class Source
     bool started_ = false;
     bool finished_ = false;
     bool all_delivered_ = false;
+    bool paused_ = false;
+    bool parked_ = false;
+    bool halted_ = false;
+    bool shedding_ = false;
+    bool delivery_pending_ = false;
+    SimTime stalled_until_ = 0;
+    uint64_t drop_bundles_ = 0;
+    uint64_t records_shed_ = 0;
+    uint64_t bundles_shed_ = 0;
     SimTime finished_at_ = 0;
     SimTime last_delivery_ = 0;
     SimTime backpressured_since_ = 0;

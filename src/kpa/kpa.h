@@ -121,7 +121,27 @@ class Kpa
      * destination cannot take the block. The caller charges the
      * migration traffic to its CostLog.
      */
-    bool migrate(mem::Tier t) { return hm_.migrate(block_, t); }
+    bool
+    migrate(mem::Tier t)
+    {
+        if (block_.tier == t)
+            return true;
+        if (!hm_.migrate(block_, t))
+            return false;
+        ++touch_gen_;
+        return true;
+    }
+
+    /**
+     * Touch generation: a counter bumped by every mutation (append,
+     * bulk commit, sort-flag change, migration). Incremental
+     * checkpointing keys on it — a run whose generation is unchanged
+     * since the last snapshot need not be copied again. It is the
+     * same access-tracking direction the roadmap's PML-style
+     * working-set estimation needs, kept deliberately cheap: one
+     * counter increment on mutation paths, nothing on reads.
+     */
+    uint64_t touchGen() const { return touch_gen_; }
 
     /** Append one entry (invalidates the sorted flag). */
     void
@@ -130,6 +150,7 @@ class Kpa
         sbhbm_assert(size_ < capacity_, "KPA overflow");
         entries()[size_++] = KpEntry{key, row};
         sorted_ = false;
+        ++touch_gen_;
     }
 
     /**
@@ -143,6 +164,7 @@ class Kpa
         sbhbm_assert(n <= capacity_, "size %u beyond capacity %u", n,
                      capacity_);
         size_ = n;
+        ++touch_gen_;
     }
 
     /**
@@ -165,8 +187,10 @@ class Kpa
                      "KPA overflow: %u + %u beyond %u", size_, n,
                      capacity_);
         size_ += n;
-        if (n > 0)
+        if (n > 0) {
             sorted_ = false;
+            ++touch_gen_;
+        }
     }
 
     /** The column the resident keys replicate; kNoColumn if derived. */
@@ -174,7 +198,14 @@ class Kpa
     void setResidentColumn(ColumnId c) { resident_col_ = c; }
 
     bool sorted() const { return sorted_; }
-    void setSorted(bool s) { sorted_ = s; }
+
+    void
+    setSorted(bool s)
+    {
+        if (sorted_ != s)
+            ++touch_gen_;
+        sorted_ = s;
+    }
 
     /**
      * Link a source bundle (takes a reference unless already linked).
@@ -233,6 +264,7 @@ class Kpa
     mem::Block block_;
     uint32_t capacity_;
     uint32_t size_ = 0;
+    uint64_t touch_gen_ = 0;
     ColumnId resident_col_ = columnar::kNoColumn;
     bool sorted_ = false;
     std::vector<BundleHandle> sources_;

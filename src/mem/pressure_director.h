@@ -63,6 +63,24 @@ class ColdStateProvider
      */
     virtual DemoteResult demoteColdState(uint64_t want_charged_bytes,
                                          sim::CostLog &log) = 0;
+
+    /**
+     * Generalized relief: move cold state off @p from onto @p to until
+     * ~@p want_charged_bytes of @p from's gauge capacity is freed. The
+     * exhaustion path uses this in both directions (DRAM exhaustion is
+     * relieved by *promoting* cold state into spare HBM). Providers
+     * with nothing relocatable keep the default no-op.
+     */
+    virtual DemoteResult
+    relocateColdState(Tier from, Tier to, uint64_t want_charged_bytes,
+                      sim::CostLog &log)
+    {
+        (void)from;
+        (void)to;
+        (void)want_charged_bytes;
+        (void)log;
+        return {};
+    }
 };
 
 /** Demotion control knobs. */
@@ -166,6 +184,42 @@ class PressureDirector
     }
 
     /**
+     * Exhaustion relief: free about @p want gauge bytes on the
+     * @p exhausted tier by relocating cold state to the other tier,
+     * charging the copy traffic to @p log. Unlike tick() this runs
+     * even when the steady-state loop is disabled — it is the last
+     * resort before load shedding, invoked from HybridMemory's
+     * exhaustion handler.
+     */
+    DemoteResult
+    emergencySweep(Tier exhausted, uint64_t want, sim::CostLog &log)
+    {
+        DemoteResult total;
+        if (hm_.mode() != sim::MemoryMode::kFlat || want == 0)
+            return total;
+        const Tier to =
+            exhausted == Tier::kHbm ? Tier::kDram : Tier::kHbm;
+        for (ColdStateProvider *p : providers_) {
+            if (total.charged_bytes >= want)
+                break;
+            const DemoteResult r = p->relocateColdState(
+                exhausted, to, want - total.charged_bytes, log);
+            total.charged_bytes += r.charged_bytes;
+            total.kpas += r.kpas;
+        }
+        emergency_bytes_ += total.charged_bytes;
+        emergency_kpas_ += total.kpas;
+        if (total.kpas > 0)
+            ++emergency_sweeps_;
+        return total;
+    }
+
+    /** Emergency sweeps that actually relocated state / their totals. */
+    uint64_t emergencySweeps() const { return emergency_sweeps_; }
+    uint64_t emergencyBytes() const { return emergency_bytes_; }
+    uint64_t emergencyKpas() const { return emergency_kpas_; }
+
+    /**
      * Install the escalation hook, invoked from tick() with the
      * residual pressure (bytes above the low-water target) whenever a
      * full demotion sweep could not relieve a high-water breach.
@@ -220,6 +274,9 @@ class PressureDirector
     uint64_t pressure_ticks_ = 0;
     uint64_t demoted_bytes_ = 0;
     uint64_t demoted_kpas_ = 0;
+    uint64_t emergency_sweeps_ = 0;
+    uint64_t emergency_bytes_ = 0;
+    uint64_t emergency_kpas_ = 0;
     std::map<uint32_t, StreamStats> by_stream_;
 };
 

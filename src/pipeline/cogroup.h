@@ -221,6 +221,15 @@ class CogroupOp : public Operator
         }
     }
 
+    /** Holds two-sided run state it does not capture: tenants running
+     *  this operator recover by scratch-restart (replay + dedup). */
+    SnapshotSupport
+    snapshotState(OperatorSnapshot &, const OperatorSnapshot *,
+                  sim::CostLog &) override
+    {
+        return SnapshotSupport::kUnsupported;
+    }
+
     columnar::ColumnId key_col_;
     uint32_t out_cols_;
     Combiner combine_;

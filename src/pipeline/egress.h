@@ -3,6 +3,14 @@
  * Egress: the pipeline sink. Records per-window output delay
  * (emission time minus window end), advances the pipeline's target
  * watermark, and counts externalized results.
+ *
+ * For fault tolerance the egress also keeps an order-insensitive
+ * checksum per window (summed per-record FNV hashes, so parallel
+ * reduce shards may land in any order) and supports a dedup horizon:
+ * a recovered tenant replaying past its checkpoint recomputes windows
+ * the dead shard already externalized, and those results are
+ * suppressed — counted and checksummed (recovery exactness can be
+ * cross-checked against the pre-crash run) but not double-delivered.
  */
 
 #ifndef SBHBM_PIPELINE_EGRESS_H
@@ -24,7 +32,7 @@ class EgressOp : public Operator
     {
     }
 
-    /** Total result records received. */
+    /** Total result records received (excludes suppressed replays). */
     uint64_t outputRecords() const { return output_records_; }
 
     /** Result record counts per window. */
@@ -34,6 +42,32 @@ class EgressOp : public Operator
         return window_records_;
     }
 
+    /**
+     * Order-insensitive content checksum per window: the sum of each
+     * result record's FNV-1a hash. Includes suppressed (replayed)
+     * windows, which is exactly what makes recovery verifiable.
+     */
+    const std::map<columnar::WindowId, uint64_t> &
+    windowChecksums() const
+    {
+        return window_checksums_;
+    }
+
+    /**
+     * Suppress delivery of windows below @p w: they were externalized
+     * by the pre-crash incarnation of this tenant. Replayed results
+     * for them are checksummed and counted in suppressedRecords()
+     * only.
+     */
+    void
+    setDedupBefore(columnar::WindowId w)
+    {
+        dedup_before_ = std::max(dedup_before_, w);
+    }
+
+    /** Replayed result records suppressed by the dedup horizon. */
+    uint64_t suppressedRecords() const { return suppressed_records_; }
+
   protected:
     void
     process(Msg msg, int) override
@@ -42,6 +76,14 @@ class EgressOp : public Operator
         const columnar::WindowSpec spec = pipe_.windows();
         if (msg.has_window) {
             const columnar::WindowId w = msg.window;
+            window_checksums_[w] += bundleChecksum(*msg.bundle);
+            if (w < dedup_before_) {
+                // Replayed output for a window the pre-crash run
+                // already delivered: recompute (checksum above) but
+                // do not double-deliver.
+                suppressed_records_ += msg.bundle->size();
+                return;
+            }
             if (window_records_.find(w) == window_records_.end()) {
                 // First result for this window: its output delay.
                 const SimTime now = eng_.machine().now();
@@ -66,8 +108,28 @@ class EgressOp : public Operator
     }
 
   private:
+    /** Sum of per-record FNV-1a hashes (shard-order insensitive). */
+    static uint64_t
+    bundleChecksum(const columnar::Bundle &b)
+    {
+        uint64_t sum = 0;
+        for (uint32_t r = 0; r < b.size(); ++r) {
+            uint64_t h = 1469598103934665603ull;
+            const uint64_t *row = b.row(r);
+            for (uint32_t c = 0; c < b.cols(); ++c) {
+                h ^= row[c];
+                h *= 1099511628211ull;
+            }
+            sum += h;
+        }
+        return sum;
+    }
+
     uint64_t output_records_ = 0;
+    uint64_t suppressed_records_ = 0;
+    columnar::WindowId dedup_before_ = 0;
     std::map<columnar::WindowId, uint64_t> window_records_;
+    std::map<columnar::WindowId, uint64_t> window_checksums_;
 };
 
 } // namespace sbhbm::pipeline

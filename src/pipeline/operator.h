@@ -33,6 +33,7 @@
 #include "mem/pressure_director.h"
 #include "pipeline/message.h"
 #include "pipeline/pipeline.h"
+#include "pipeline/state_snapshot.h"
 #include "runtime/executor.h"
 
 namespace sbhbm::pipeline {
@@ -93,22 +94,38 @@ class Operator : public mem::ColdStateProvider
     demoteColdState(uint64_t want_charged_bytes,
                     sim::CostLog &log) override
     {
+        return relocateColdState(mem::Tier::kHbm, mem::Tier::kDram,
+                                 want_charged_bytes, log);
+    }
+
+    /**
+     * Tier-generic relief sweep over coldState(): migrate cold KPAs
+     * resident on @p from onto @p to until ~@p want_charged_bytes of
+     * @p from's gauge capacity is freed. Serves both the steady-state
+     * demotion loop (HBM -> DRAM) and the exhaustion handler's
+     * emergency direction (DRAM -> HBM promotion).
+     */
+    mem::DemoteResult
+    relocateColdState(mem::Tier from, mem::Tier to,
+                      uint64_t want_charged_bytes,
+                      sim::CostLog &log) override
+    {
         mem::DemoteResult res;
         for (kpa::Kpa *k : coldState()) {
             if (res.charged_bytes >= want_charged_bytes)
                 break;
-            if (k->tier() != mem::Tier::kHbm)
+            if (k->tier() != from)
                 continue;
             const uint64_t charged = k->chargedBytes();
             // Charge what the migration actually moves: the backing
             // allocation — entry_scale times larger than bytes() when
             // grouping state is full records (the NoKPA ablation).
             const uint64_t bytes = k->allocatedBytes();
-            if (!k->migrate(mem::Tier::kDram))
+            if (!k->migrate(to))
                 continue; // destination full: keep the KPA where it is
-            eng_.memory().charge(log, mem::Tier::kHbm,
+            eng_.memory().charge(log, from,
                                  sim::AccessPattern::kSequential, bytes);
-            eng_.memory().charge(log, mem::Tier::kDram,
+            eng_.memory().charge(log, to,
                                  sim::AccessPattern::kSequential,
                                  2 * bytes);
             res.charged_bytes += charged;
@@ -117,6 +134,36 @@ class Operator : public mem::ColdStateProvider
         return res;
     }
 
+
+    /**
+     * Capture this operator's accumulated state into @p out for a
+     * watermark-aligned checkpoint. Called only while the tenant is
+     * quiesced (no task in flight, ingestion drained). @p prev is the
+     * same operator's previous snapshot for incremental reuse (null
+     * on the first checkpoint); copy traffic goes to @p log.
+     *
+     * The default declares the operator stateless (pass-through /
+     * externally-reconstructible state). Stateful operators either
+     * implement a real capture (SortedRunsOp) or override to return
+     * kUnsupported, which makes the owning tenant recover by
+     * scratch-restart (full replay + output dedup) instead of
+     * checkpoint restore.
+     */
+    virtual SnapshotSupport
+    snapshotState(OperatorSnapshot &out, const OperatorSnapshot *prev,
+                  sim::CostLog &log)
+    {
+        (void)out;
+        (void)prev;
+        (void)log;
+        return SnapshotSupport::kStateless;
+    }
+
+    /**
+     * Reinstall state captured by snapshotState() into this (freshly
+     * constructed) operator on the recovery shard.
+     */
+    virtual void restoreState(const OperatorSnapshot &snap) { (void)snap; }
 
     /** Wire this operator's output to @p down's input @p port. */
     void

@@ -103,6 +103,27 @@ class Pipeline
 
     uint64_t windowsExternalized() const { return windows_externalized_; }
 
+    /**
+     * Recovery: resume the target watermark at window @p next without
+     * recording externalizations for the skipped prefix — those
+     * windows were externalized by the pre-crash incarnation.
+     * Replayed data for windows below @p next still flows through the
+     * operators (and is deduplicated at egress), but classify() tags
+     * it Urgent and noteWindowExternalized() ignores it.
+     */
+    void
+    resumeFrom(columnar::WindowId next)
+    {
+        next_close_ = std::max(next_close_, next);
+    }
+
+    /** The operator graph, in construction order. */
+    const std::vector<std::unique_ptr<Operator>> &
+    operators() const
+    {
+        return ops_;
+    }
+
     /** Externalization times, in window order. */
     const std::vector<Externalization> &
     externalizations() const

@@ -18,6 +18,7 @@
 #ifndef SBHBM_PIPELINE_SORTED_RUNS_OP_H
 #define SBHBM_PIPELINE_SORTED_RUNS_OP_H
 
+#include <cstring>
 #include <map>
 #include <memory>
 #include <set>
@@ -118,6 +119,128 @@ class SortedRunsOp : public Operator
 
     /** Windows currently accumulating state. */
     size_t openWindows() const { return state_.size(); }
+
+  public:
+    /**
+     * Checkpoint capture: deep-copy every accumulated run (keys plus
+     * the full rows its entries reference) so the snapshot survives
+     * the shard. Incremental: a run whose Kpa::touchGen() is
+     * unchanged since @p prev reuses the previous payload and charges
+     * nothing. Copy traffic is charged DMA-style — entries stream out
+     * of their tier, rows out of DRAM, the serialized payload
+     * write-allocates in the DRAM staging area.
+     */
+    SnapshotSupport
+    snapshotState(OperatorSnapshot &out, const OperatorSnapshot *prev,
+                  sim::CostLog &log) override
+    {
+        sbhbm_assert(closing_.empty(),
+                     "%s: snapshot during an in-flight window close",
+                     name().c_str());
+        out.support = SnapshotSupport::kSupported;
+        out.min_open = min_open_;
+        for (const auto &[w, runs] : state_) {
+            for (uint32_t i = 0; i < runs.size(); ++i) {
+                const kpa::Kpa &k = *runs[i];
+                RunSnapshot rs;
+                rs.window = w;
+                rs.index = i;
+                rs.touch_gen = k.touchGen();
+                rs.sorted = k.sorted();
+                rs.resident_col = k.residentColumn();
+                rs.tier = k.tier();
+                const RunSnapshot *p =
+                    prev != nullptr ? prev->find(w, i) : nullptr;
+                if (p != nullptr && p->data != nullptr
+                    && p->touch_gen == rs.touch_gen
+                    && p->data->keys.size() == k.size()) {
+                    rs.data = p->data;
+                    rs.reused = true;
+                } else {
+                    auto d = std::make_shared<RunData>();
+                    const uint32_t cols =
+                        k.sources().empty() ? 0 : k.recordCols();
+                    d->cols = cols;
+                    d->keys.resize(k.size());
+                    d->rows.resize(uint64_t{k.size()} * cols);
+                    for (uint32_t e = 0; e < k.size(); ++e) {
+                        const kpa::KpEntry &kp = k.entries()[e];
+                        d->keys[e] = kp.key;
+                        if (cols > 0)
+                            std::memcpy(&d->rows[uint64_t{e} * cols],
+                                        kp.row,
+                                        cols * sizeof(uint64_t));
+                    }
+                    const uint64_t entry_bytes = k.bytes();
+                    const uint64_t row_bytes =
+                        d->rows.size() * sizeof(uint64_t);
+                    eng_.memory().charge(
+                        log, k.tier(),
+                        sim::AccessPattern::kSequential, entry_bytes);
+                    eng_.memory().charge(
+                        log, mem::Tier::kDram,
+                        sim::AccessPattern::kSequential,
+                        2 * row_bytes + entry_bytes);
+                    rs.data = std::move(d);
+                }
+                out.runs.push_back(std::move(rs));
+            }
+        }
+        return SnapshotSupport::kSupported;
+    }
+
+    /**
+     * Restore onto a fresh operator: one synthetic bundle per run
+     * holds the materialized rows, and a rebuilt KPA points into it.
+     * Restored bundles carry no ingestion credit (they are state, not
+     * in-flight data) and are reclaimed normally when the window
+     * closes and the KPA drops its reference.
+     */
+    void
+    restoreState(const OperatorSnapshot &snap) override
+    {
+        sbhbm_assert(state_.empty() && closing_.empty(),
+                     "%s: restore into a non-empty operator",
+                     name().c_str());
+        min_open_ = std::max(min_open_, snap.min_open);
+        for (const RunSnapshot &rs : snap.runs) {
+            sbhbm_assert(rs.data != nullptr, "run snapshot lost payload");
+            const RunData &d = *rs.data;
+            const auto n = static_cast<uint32_t>(d.keys.size());
+            kpa::Placement place;
+            place.tier = rs.tier;
+            place.stream = pipe_.streamId();
+            if (!eng_.useKpa() && d.cols > 0) {
+                place.entry_scale =
+                    static_cast<double>(d.cols) * sizeof(uint64_t)
+                    / sizeof(kpa::KpEntry);
+            }
+            kpa::KpaPtr k = kpa::Kpa::create(
+                eng_.memory(), std::max<uint32_t>(n, 1), place);
+            if (n > 0 && d.cols > 0) {
+                columnar::Bundle *b = columnar::Bundle::create(
+                    eng_.memory(), d.cols, n);
+                uint64_t *rows = b->appendBlockRaw(n);
+                std::memcpy(rows, d.rows.data(),
+                            d.rows.size() * sizeof(uint64_t));
+                for (uint32_t e = 0; e < n; ++e)
+                    k->entries()[e] = kpa::KpEntry{
+                        d.keys[e], rows + uint64_t{e} * d.cols};
+                k->setSizeUnsafe(n);
+                k->addSource(b);
+                b->release(); // the KPA holds the surviving reference
+            } else if (n > 0) {
+                for (uint32_t e = 0; e < n; ++e)
+                    k->entries()[e] = kpa::KpEntry{d.keys[e], nullptr};
+                k->setSizeUnsafe(n);
+            }
+            k->setSorted(rs.sorted);
+            k->setResidentColumn(rs.resident_col);
+            state_[rs.window].push_back(std::move(k));
+        }
+    }
+
+  protected:
 
     /**
      * Demotion candidates for the pressure director: the sorted runs

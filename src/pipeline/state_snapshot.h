@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Operator state snapshots: the pipeline half of watermark-aligned
+ * checkpointing.
+ *
+ * A snapshot is a host-side deep copy of an operator's accumulated
+ * window state, taken while the tenant is quiesced (no task in
+ * flight, ingestion drained). KPA entries hold raw pointers into
+ * source bundles, so a snapshot materializes both the 16-byte entries
+ * AND the full rows they reference — a restored operator must not
+ * depend on any memory of the shard that died.
+ *
+ * Snapshots are incremental: each run records the touch generation of
+ * the KPA it copied (Kpa::touchGen()); if the generation is unchanged
+ * at the next checkpoint, the previous payload is reused via
+ * shared_ptr and no copy traffic is charged. Runs are identified by
+ * (window, position-in-window) — stable for the lifetime of a window
+ * because runs are only ever appended while a window accumulates.
+ */
+
+#ifndef SBHBM_PIPELINE_STATE_SNAPSHOT_H
+#define SBHBM_PIPELINE_STATE_SNAPSHOT_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "columnar/record.h"
+#include "columnar/window.h"
+#include "sim/tier.h"
+
+namespace sbhbm::pipeline {
+
+/** How an operator participates in checkpointing. */
+enum class SnapshotSupport : uint8_t {
+    kStateless = 0, //!< nothing to save; restore is a no-op
+    kSupported,     //!< state captured and restorable
+    kUnsupported,   //!< holds state it cannot snapshot: the tenant
+                    //!< falls back to scratch-restart recovery
+};
+
+/**
+ * Deep-copied payload of one sorted run: keys and full rows, both in
+ * KPA entry order. Immutable once captured; consecutive incremental
+ * snapshots share it when the run's touch generation is unchanged.
+ */
+struct RunData
+{
+    uint32_t cols = 0;          //!< columns per referenced record
+    std::vector<uint64_t> keys; //!< one resident key per entry
+    std::vector<uint64_t> rows; //!< keys.size() * cols row values
+
+    /** Serialized payload size (entry pairs + row data). */
+    uint64_t
+    bytes() const
+    {
+        return keys.size() * sizeof(columnar::KpEntry)
+               + rows.size() * sizeof(uint64_t);
+    }
+};
+
+/** One window-state run captured at a checkpoint. */
+struct RunSnapshot
+{
+    columnar::WindowId window = 0;
+    uint32_t index = 0;  //!< position within the window's run list
+    uint64_t touch_gen = 0;
+    bool sorted = false;
+    bool reused = false; //!< payload shared with the previous snapshot
+    columnar::ColumnId resident_col = columnar::kNoColumn;
+    sim::Tier tier = sim::Tier::kHbm; //!< tier to restore onto
+    std::shared_ptr<const RunData> data;
+};
+
+/** Everything one operator saved at a checkpoint. */
+struct OperatorSnapshot
+{
+    std::string op;
+    SnapshotSupport support = SnapshotSupport::kStateless;
+    columnar::WindowId min_open = 0;
+    std::vector<RunSnapshot> runs;
+
+    /** The previous capture of run (@p w, @p index), if any. */
+    const RunSnapshot *
+    find(columnar::WindowId w, uint32_t index) const
+    {
+        for (const RunSnapshot &r : runs)
+            if (r.window == w && r.index == index)
+                return &r;
+        return nullptr;
+    }
+
+    /** Payload bytes newly copied (excludes reused runs). */
+    uint64_t
+    copiedBytes() const
+    {
+        uint64_t b = 0;
+        for (const RunSnapshot &r : runs)
+            if (!r.reused && r.data != nullptr)
+                b += r.data->bytes();
+        return b;
+    }
+
+    /** Payload bytes carried over from the previous snapshot. */
+    uint64_t
+    reusedBytes() const
+    {
+        uint64_t b = 0;
+        for (const RunSnapshot &r : runs)
+            if (r.reused && r.data != nullptr)
+                b += r.data->bytes();
+        return b;
+    }
+};
+
+} // namespace sbhbm::pipeline
+
+#endif // SBHBM_PIPELINE_STATE_SNAPSHOT_H

@@ -89,6 +89,15 @@ class AvgAllOp : public Operator
         uint64_t count = 0;
     };
 
+    /** Holds accumulators it does not capture: tenants running this
+     *  operator recover by scratch-restart (replay + dedup). */
+    SnapshotSupport
+    snapshotState(OperatorSnapshot &, const OperatorSnapshot *,
+                  sim::CostLog &) override
+    {
+        return SnapshotSupport::kUnsupported;
+    }
+
     columnar::ColumnId ts_col_;
     columnar::ColumnId value_col_;
     std::map<columnar::WindowId, Acc> state_;

@@ -157,6 +157,53 @@ class Engine
     mem::PressureDirector &director() { return director_; }
     const mem::PressureDirector &director() const { return director_; }
 
+    // ---------------------------------------------------------------
+    // Graceful exhaustion (the fault-tolerant serving layer's opt-in).
+    //
+    // By default allocation exhaustion is fatal — the historical
+    // behaviour every single-pipeline figure reproduces bit for bit.
+    // A serving fleet instead wants to *degrade*: first try to free
+    // capacity by relocating cold window state off the exhausted tier
+    // (an emergency director sweep, charged DMA-style), and only if
+    // that still leaves the allocation unsatisfiable, throw
+    // mem::AllocFailure so the executor / ingest sheds the one task
+    // or bundle instead of aborting the whole fleet. Each exhaustion
+    // event opens a distress window the serving layer reads to turn
+    // on SLA-aware load shedding.
+    // ---------------------------------------------------------------
+
+    /** Make exhaustion recoverable (see block comment above). */
+    void
+    enableGracefulExhaustion(SimTime distress_window = 100 * kNsPerMs)
+    {
+        distress_window_ = distress_window;
+        hm_.setThrowOnExhaustion(true);
+        hm_.setExhaustionHandler([this](mem::Tier t, uint64_t want) {
+            noteMemoryDistress();
+            sim::CostLog relief;
+            const mem::DemoteResult r =
+                director_.emergencySweep(t, want, relief);
+            if (r.kpas == 0)
+                return false;
+            machine_.execute(std::move(relief), [] {});
+            return true;
+        });
+    }
+
+    /** Open (or extend) the memory-distress window. */
+    void
+    noteMemoryDistress()
+    {
+        distress_until_ = machine_.now() + distress_window_;
+        ++distress_events_;
+    }
+
+    /** Inside the distress window following an exhaustion event? */
+    bool inDistress() const { return machine_.now() < distress_until_; }
+
+    /** Exhaustion events since boot (injected and genuine). */
+    uint64_t distressEvents() const { return distress_events_; }
+
     /** Record one per-window output delay (drives knob headroom). */
     void
     reportOutputDelay(SimTime delay)
@@ -303,6 +350,9 @@ class Engine
     ResourceMonitor monitor_;
     SampleSet delays_;
     SimTime last_delay_ = 0;
+    SimTime distress_window_ = 100 * kNsPerMs;
+    SimTime distress_until_ = 0;
+    uint64_t distress_events_ = 0;
     uint32_t inflight_bundles_ = 0;
     uint64_t bundles_released_ = 0;
     std::map<StreamId, StreamFlow> stream_flows_;

@@ -27,6 +27,7 @@
 #ifndef SBHBM_RUNTIME_EXECUTOR_H
 #define SBHBM_RUNTIME_EXECUTOR_H
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <deque>
@@ -39,6 +40,7 @@
 #include "common/logging.h"
 #include "common/unique_function.h"
 #include "common/worker_pool.h"
+#include "mem/hybrid_memory.h"
 #include "runtime/impact_tag.h"
 #include "sim/cost_model.h"
 #include "sim/machine.h"
@@ -141,6 +143,7 @@ class Executor
     {
         uint64_t spawned = 0;
         uint64_t completed = 0;
+        uint64_t shed = 0;       //!< tasks aborted by AllocFailure
         double cpu_ns = 0;       //!< total charged CPU ns
         uint64_t hbm_bytes = 0;  //!< total charged HBM traffic
         uint64_t dram_bytes = 0; //!< total charged DRAM traffic
@@ -152,7 +155,7 @@ class Executor
      *                evaluation sweeps this, Figs 2/7/8/9).
      */
     Executor(sim::Machine &machine, unsigned cores)
-        : machine_(machine), cores_(cores)
+        : machine_(machine), cores_(cores), base_cores_(cores)
     {
         sbhbm_assert(cores >= 1 && cores <= machine.cores(),
                      "core count %u outside 1..%u", cores,
@@ -368,9 +371,14 @@ class Executor
         sim::CostLog cost;
         cost.cpu(sim::cost::kTaskDispatchNs);
         auto keep = std::make_shared<TaskFn>(std::move(task.fn));
-        (*keep)(cost);
-
         StreamStats &ss = home.stats_[task.stream];
+        try {
+            (*keep)(cost);
+        } catch (const mem::AllocFailure &) {
+            // Shed on the home shard's books (see pump()).
+            ++ss.shed;
+            ++home.shed_;
+        }
         ss.cpu_ns += cost.totalCpuNs();
         ss.hbm_bytes += cost.bytesOn(sim::Tier::kHbm);
         ss.dram_bytes += cost.bytesOn(sim::Tier::kDram);
@@ -432,6 +440,23 @@ class Executor
     unsigned cores() const { return cores_; }
     unsigned busyCores() const { return busy_; }
 
+    /**
+     * Degrade to @p n usable core slots (the slow-shard fault): new
+     * dispatches respect the lower limit while in-flight tasks finish
+     * naturally. Clamped to [1, configured cores]; 0 restores the
+     * full count. Restoring re-pumps so any backlog drains onto the
+     * recovered slots immediately.
+     */
+    void
+    setCoreLimit(unsigned n)
+    {
+        cores_ = n == 0 ? base_cores_ : std::clamp(n, 1u, base_cores_);
+        pump();
+    }
+
+    /** Tasks shed by AllocFailure, summed over all streams. */
+    uint64_t shedTasks() const { return shed_; }
+
     uint64_t queuedTasks() const { return queued_; }
 
     uint64_t spawnedTasks() const { return spawned_; }
@@ -485,9 +510,17 @@ class Executor
             // set is pinned while the task runs, and back-pressure
             // must see it.
             auto keep = std::make_shared<TaskFn>(std::move(task.fn));
-            (*keep)(cost);
-
             StreamStats &ss = stats_[stream];
+            try {
+                (*keep)(cost);
+            } catch (const mem::AllocFailure &) {
+                // Graceful degradation: a task whose allocation
+                // failed is shed, not fatal. Cost accrued before the
+                // failure is still charged, and the done hook below
+                // still fires so watermark barriers release.
+                ++ss.shed;
+                ++shed_;
+            }
             ss.cpu_ns += cost.totalCpuNs();
             ss.hbm_bytes += cost.bytesOn(sim::Tier::kHbm);
             ss.dram_bytes += cost.bytesOn(sim::Tier::kDram);
@@ -578,12 +611,14 @@ class Executor
 
     sim::Machine &machine_;
     unsigned cores_;
+    unsigned base_cores_;
     unsigned busy_ = 0;
     std::map<StreamId, TagQueues> queues_;
     uint64_t queued_ = 0;
     uint64_t next_seq_ = 0;
     uint64_t spawned_ = 0;
     uint64_t completed_ = 0;
+    uint64_t shed_ = 0;
     uint64_t stolen_out_ = 0;
     uint64_t stolen_in_ = 0;
     std::function<bool()> steal_hook_;

@@ -37,12 +37,28 @@
  * shards == 1 (the default) and both cross-shard paths off, the
  * co-simulation degenerates to the single machine's run() loop and
  * every output is byte-identical to the single-engine server.
+ *
+ * Fault tolerance (ServeConfig::fault) layers four mechanisms on the
+ * same invariants: a deterministic FaultInjector armed on the
+ * control-plane machine; watermark-aligned per-session checkpoints
+ * (quiesce → snapshot operator state → charge the copy traffic);
+ * shard failover (a crashed shard's sessions restart on survivors
+ * from their last checkpoint, replay their source past the cut under
+ * logical event time, and deduplicate already-delivered windows at
+ * the egress — recovered output is bit-identical to a fault-free
+ * run); and graceful degradation (typed allocation failures shed
+ * tasks instead of aborting, emergency relocation sweeps relieve
+ * exhaustion, rejected arrivals retry with backoff, slow shards
+ * degrade and recover). Every fault, crash, recovery and loss appends
+ * a line to recoveryTrace() — the reproducibility fingerprint.
  */
 
 #ifndef SBHBM_SERVE_SERVER_H
 #define SBHBM_SERVE_SERVER_H
 
 #include <algorithm>
+#include <cstdarg>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <string>
@@ -53,11 +69,67 @@
 #include "common/stats.h"
 #include "common/units.h"
 #include "runtime/engine.h"
+#include "serve/checkpoint.h"
 #include "serve/fair_scheduler.h"
 #include "serve/tenant.h"
 #include "serve/tenant_registry.h"
+#include "sim/fault_injector.h"
 
 namespace sbhbm::serve {
+
+/**
+ * Fault-tolerance knobs. The fault plan itself is deterministic (a
+ * seeded schedule of virtual-time events), so a chaos run is exactly
+ * as reproducible as a fault-free one: same plan, same seed, same
+ * bits.
+ */
+struct FaultToleranceConfig
+{
+    /** Master switch: injector, checkpointing, failover, recovery. */
+    bool enabled = false;
+
+    /** The fault schedule (explicit or FaultPlan::scatter). */
+    sim::FaultPlan plan;
+
+    /**
+     * Checkpoint cadence per session, virtual ns; 0 disables
+     * checkpointing (crashed sessions then recover by
+     * scratch-restart). Each checkpoint briefly quiesces the session
+     * (pause source, drain in-flight work) so the cut is exact.
+     */
+    SimTime checkpoint_period = 0;
+
+    /** Reuse unchanged runs from the previous cut (no copy charge). */
+    bool incremental = true;
+
+    /** Poll interval while waiting for checkpoint quiescence. */
+    SimTime quiesce_poll = kNsPerMs / 10;
+
+    /** Crash detection + failover latency before recovery starts. */
+    SimTime recovery_delay = kNsPerMs;
+
+    /** Recovery placement retries before a session is declared lost
+     *  (bounds termination when no live shard ever has headroom). */
+    uint32_t max_recovery_attempts = 64;
+
+    /** Re-offer a rejected arrival up to this many times... */
+    uint32_t admission_retries = 0;
+
+    /** ...with this linear backoff between attempts. */
+    SimTime admission_retry_backoff = 20 * kNsPerMs;
+
+    /**
+     * Typed allocation failures instead of aborts: an exhausted tier
+     * first triggers an emergency relocation sweep, and a task whose
+     * allocation still fails is shed (counted, watermarks released)
+     * rather than fatal.
+     */
+    bool graceful_exhaustion = true;
+
+    /** While an engine is in allocation distress, shed load from
+     *  sessions with SLA headroom (lossy windows, counted). */
+    bool distress_shedding = false;
+};
 
 /** Serving-layer configuration. */
 struct ServeConfig
@@ -115,6 +187,9 @@ struct ServeConfig
      * Needs engine.pressure.enabled and shards > 1.
      */
     bool shard_migration = false;
+
+    /** Fault injection, checkpointing and failover. */
+    FaultToleranceConfig fault;
 };
 
 /** What one session did, filled when it drains. */
@@ -169,6 +244,57 @@ struct TenantReport
 
     /** Cross-shard migrations this session went through. */
     uint32_t migrations = 0;
+
+    // Fault-tolerance accounting.
+
+    /** Shard-death episodes the session lived through. */
+    uint32_t crashes = 0;
+
+    /** Successful failovers (crash → restart on a live shard). */
+    uint32_t recoveries = 0;
+
+    /** Crashed and could not be recovered (two-stream session, no
+     *  logical time, or recovery placement never fit). */
+    bool lost = false;
+
+    /** Total virtual time spent dead (crash → restart). */
+    SimTime downtime_ns = 0;
+
+    /** Records re-ingested past a checkpoint during recovery; the
+     *  conservation identity is records == offered + replayed when
+     *  nothing was shed. */
+    uint64_t records_replayed = 0;
+
+    /** Records consumed but dropped (injected drops + load shedding). */
+    uint64_t records_shed = 0;
+
+    /** Tasks shed on allocation failure (graceful exhaustion). */
+    uint64_t shed_tasks = 0;
+
+    /** Replayed result records the egress deduplicated. */
+    uint64_t suppressed_records = 0;
+
+    /** Checkpoints captured, and their copy/reuse byte totals. */
+    uint64_t checkpoints = 0;
+    uint64_t checkpoint_copied_bytes = 0;
+    uint64_t checkpoint_reused_bytes = 0;
+
+    /** Rejected-arrival retries consumed. */
+    uint32_t admission_retries = 0;
+
+    /**
+     * Exactly-once delivered output per window: result-record counts
+     * and order-insensitive content checksums, merged across
+     * segments. Output commits at checkpoint cuts (a transactional
+     * sink): when a shard crashes, the dead segment's uncommitted
+     * windows are rolled back here and redelivered whole by the
+     * recovered incarnation — so after any number of injected
+     * crashes these maps are bit-identical to a fault-free run's.
+     * (Latency/window *observations* are not rolled back: a replayed
+     * window was genuinely externalized twice.)
+     */
+    std::map<columnar::WindowId, uint64_t> window_records;
+    std::map<columnar::WindowId, uint64_t> window_checksums;
 };
 
 /** A fleet of engine shards serving N tenants. */
@@ -179,6 +305,7 @@ class Server
         : cfg_(fillDefaults(std::move(cfg))), registry_(cfg_.admission)
     {
         shards_.reserve(cfg_.shards);
+        shard_dead_.assign(cfg_.shards, false);
         for (uint32_t s = 0; s < cfg_.shards; ++s) {
             runtime::EngineConfig ec = cfg_.engine;
             // Each shard gets an equal slice of the host pool (the
@@ -212,6 +339,10 @@ class Server
             for (uint32_t s = 0; s < cfg_.shards; ++s)
                 shards_[s]->eng->exec().setStealHook(
                     [this, s] { return stealInto(s); });
+        }
+        if (cfg_.fault.enabled && cfg_.fault.graceful_exhaustion) {
+            for (auto &sh : shards_)
+                sh->eng->enableGracefulExhaustion();
         }
     }
 
@@ -272,6 +403,15 @@ class Server
             for (uint32_t s = 0; s < cfg_.shards; ++s)
                 stealTick(s);
         }
+        if (cfg_.fault.enabled && !cfg_.fault.plan.empty()) {
+            // Faults fire on the control-plane machine (the
+            // globally-earliest event when they do), so handlers may
+            // syncTo any shard before acting on it.
+            injector_ = std::make_unique<sim::FaultInjector>(
+                shards_[0]->eng->machine(), cfg_.fault.plan,
+                [this](const sim::FaultEvent &e) { onFault(e); });
+            injector_->arm();
+        }
         runFleet();
 
         for (auto &sh : shards_)
@@ -279,6 +419,8 @@ class Server
                          "sessions still running at drain");
         sbhbm_assert(registry_.queued() == 0,
                      "sessions still waiting at drain");
+        sbhbm_assert(pending_recovery_.empty(),
+                     "failovers still pending at drain");
 
         report_list_.clear();
         for (auto &[id, rep] : reports_)
@@ -343,6 +485,30 @@ class Server
         return sec > 0 ? static_cast<double>(records) / sec / 1e6 : 0.0;
     }
 
+    // ---------------------------------------------------------------
+    // Fault-tolerance observability.
+    // ---------------------------------------------------------------
+
+    /** The armed injector (after run(), when a plan was set). */
+    const sim::FaultInjector *injector() const { return injector_.get(); }
+
+    /** Fleet-wide checkpoint store (latest cut per session, totals). */
+    const CheckpointStore &checkpointStore() const { return ckpts_; }
+
+    /** Is shard @p s dead (crashed by an injected fault)? */
+    bool shardDead(uint32_t s) const { return shard_dead_[s]; }
+
+    /**
+     * The recovery trace: one line per fault fired, crash processed,
+     * session recovered or lost — in virtual-time order. Two runs of
+     * the same configuration and fault plan produce identical traces;
+     * tests fingerprint reproducibility on it.
+     */
+    const std::vector<std::string> &recoveryTrace() const
+    {
+        return trace_;
+    }
+
   private:
     /** One engine plus its shard-local serving state. */
     struct EngineShard
@@ -374,6 +540,19 @@ class Server
         uint64_t served_slots = 0;
         uint64_t demoted_kpas = 0;
         uint64_t demoted_bytes = 0;
+        uint64_t shed_tasks = 0;
+    };
+
+    /** A crashed session waiting for a live shard to restart on. */
+    struct PendingRecovery
+    {
+        runtime::StreamId id = 0;
+        TenantSpec cont;       //!< continuation spec (resume offset)
+        SimTime crashed_at = 0;
+        columnar::WindowId dedup_before = 0; //!< committed pre-crash
+        uint64_t replay = 0;   //!< records the replay will repeat
+        bool use_checkpoint = false;
+        uint32_t attempts = 0;
     };
 
     static ServeConfig
@@ -422,6 +601,18 @@ class Server
             rep.was_queued = true;
             break;
           case Admission::kRejected:
+            // Graceful degradation: a rejected arrival retries with
+            // linear backoff instead of failing outright — a fleet
+            // briefly saturated (or degraded by a fault) sheds the
+            // arrival in time, not in kind.
+            if (cfg_.fault.enabled
+                && rep.admission_retries < cfg_.fault.admission_retries) {
+                ++rep.admission_retries;
+                const SimTime backoff = cfg_.fault.admission_retry_backoff
+                                        * rep.admission_retries;
+                shards_[0]->eng->machine().after(
+                    backoff, [this, spec] { arrive(spec); });
+            }
             break;
         }
     }
@@ -431,23 +622,32 @@ class Server
      * Callers hold the co-sim invariant (they are inside the
      * globally-earliest event), so syncing s's clock forward is legal.
      */
+    /** Snapshot shard @p s's cumulative counters as the baseline of a
+     *  new segment of session @p id. */
+    void
+    snapSegmentBase(uint32_t s, runtime::StreamId id)
+    {
+        EngineShard &sh = *shards_[s];
+        SegmentBase base;
+        const auto &ss = sh.eng->exec().streamStats(id);
+        base.tasks = ss.completed;
+        base.cpu_ns = ss.cpu_ns;
+        base.hbm_bytes = ss.hbm_bytes;
+        base.dram_bytes = ss.dram_bytes;
+        base.served_slots = sh.sched.served(id);
+        base.demoted_kpas = sh.eng->director().demotedKpas(id);
+        base.demoted_bytes = sh.eng->director().demotedBytes(id);
+        base.shed_tasks = ss.shed;
+        seg_base_[id] = base;
+        reports_[id].shard = s;
+    }
+
     void
     start(uint32_t s, const TenantSpec &spec, SimTime now)
     {
         EngineShard &sh = *shards_[s];
         sh.eng->machine().syncTo(now);
-
-        SegmentBase base;
-        const auto &ss = sh.eng->exec().streamStats(spec.id);
-        base.tasks = ss.completed;
-        base.cpu_ns = ss.cpu_ns;
-        base.hbm_bytes = ss.hbm_bytes;
-        base.dram_bytes = ss.dram_bytes;
-        base.served_slots = sh.sched.served(spec.id);
-        base.demoted_kpas = sh.eng->director().demotedKpas(spec.id);
-        base.demoted_bytes = sh.eng->director().demotedBytes(spec.id);
-        seg_base_[spec.id] = base;
-        reports_[spec.id].shard = s;
+        snapSegmentBase(s, spec.id);
 
         auto tenant = std::make_unique<Tenant>(
             *sh.eng, spec, cfg_.window_ns, seedFor(spec));
@@ -458,6 +658,9 @@ class Server
         t.start();
         sh.eng->machine().after(kNsPerMs,
                                 [this, s, id = spec.id] { poll(s, id); });
+        if (cfg_.fault.enabled && cfg_.fault.checkpoint_period > 0
+            && t.migratable() && spec.logical_time)
+            scheduleCheckpoint(s, spec.id);
     }
 
     /**
@@ -548,10 +751,16 @@ class Server
     {
         EngineShard &sh = *shards_[s];
         auto it = sh.tenants.find(id);
-        sbhbm_assert(it != sh.tenants.end(), "polling unknown tenant %u",
-                     id);
+        if (it == sh.tenants.end())
+            return; // session crashed off this shard mid-poll
         Tenant &t = *it->second;
         t.sla().observe(t.pipe());
+        if (cfg_.fault.enabled && cfg_.fault.distress_shedding) {
+            // SLA-aware shedding under allocation distress: sessions
+            // with latency headroom go lossy so breaching ones keep
+            // their windows whole. Clears when the distress does.
+            t.setShedding(sh.eng->inDistress() && !t.sla().breached());
+        }
         if (cfg_.sla_demotion) {
             // SLA feedback into placement: a breaching tenant's
             // non-urgent KPAs go DRAM-lean until it recovers.
@@ -574,9 +783,23 @@ class Server
         finish(s, id, t);
     }
 
-    /** Fold a drained segment on shard @p s into the report. */
+    /** Every window: the commit horizon of a segment that drained
+     *  normally (nothing to roll back). */
+    static constexpr columnar::WindowId kAllWindows =
+        ~columnar::WindowId{0};
+
+    /**
+     * Fold a drained segment on shard @p s into the report. Output
+     * delivery is transactional: only windows below @p commit_before
+     * count as delivered. A normal drain commits everything; a crash
+     * passes its last checkpoint cut (or 0 for scratch-restart), so
+     * the uncommitted suffix is rolled back and redelivered whole by
+     * the recovered incarnation — never split across a mid-emission
+     * crash boundary.
+     */
     void
-    accumulate(uint32_t s, runtime::StreamId id, Tenant &t)
+    accumulate(uint32_t s, runtime::StreamId id, Tenant &t,
+               columnar::WindowId commit_before = kAllWindows)
     {
         EngineShard &sh = *shards_[s];
         t.sla().observe(t.pipe());
@@ -584,7 +807,21 @@ class Server
         if (rep.migrations == 0)
             rep.started_at = t.startedAt();
         rep.records += t.recordsIngested();
-        rep.output_records += t.outputRecords();
+
+        const auto &wrec = t.egress().windowRecords();
+        const auto &wsum = t.egress().windowChecksums();
+        uint64_t committed = 0;
+        for (const auto &[w, n] : wrec) {
+            if (w >= commit_before)
+                continue; // uncommitted: the recovery redelivers it
+            rep.window_records[w] += n;
+            if (auto cs = wsum.find(w); cs != wsum.end())
+                rep.window_checksums[w] += cs->second;
+            committed += n;
+        }
+        rep.output_records += commit_before == kAllWindows
+                                  ? t.outputRecords()
+                                  : committed;
 
         const SlaTracker &sla = t.sla();
         rep.windows += sla.windows();
@@ -608,6 +845,12 @@ class Server
             sh.eng->director().demotedKpas(id) - base.demoted_kpas;
         rep.demoted_bytes +=
             sh.eng->director().demotedBytes(id) - base.demoted_bytes;
+
+        // Fault-tolerance accounting for this segment.
+        rep.shed_tasks += ss.shed - base.shed_tasks;
+        rep.records_shed += t.recordsShed();
+        rep.suppressed_records += t.egress().suppressedRecords();
+        rep.downtime_ns += sla.downtimeNs();
     }
 
     /** Tear a session's shard-local state down after a drain. */
@@ -639,13 +882,29 @@ class Server
 
         // A session marked for migration drains early (its stream was
         // truncated); if records remain, restart them on the target.
+        const uint64_t position =
+            t.migratable() ? t.sourceA().streamPosition() : 0;
         uint32_t target = 0;
         bool migrate = false;
         if (auto mig = migrating_.find(id); mig != migrating_.end()) {
             target = mig->second;
             migrating_.erase(mig);
-            migrate = rep.records + t.recordsIngested()
-                      < rep.spec.total_records;
+            // Logical-time sessions chain by absolute stream position
+            // (offsets compose across segments and crashes); legacy
+            // sessions keep the cumulative-ingest arithmetic.
+            migrate = rep.spec.logical_time
+                          ? position < rep.spec.total_records
+                          : rep.records + t.recordsIngested()
+                                < rep.spec.total_records;
+        }
+        if (migrate && shard_dead_[target]) {
+            // The target died while this session drained: re-route to
+            // a live shard, or finish early when none has headroom.
+            const uint32_t alt = pickRecoveryShard();
+            if (alt != kNoShard && registry_.migrate(id, alt))
+                target = alt;
+            else
+                migrate = false;
         }
 
         accumulate(s, id, t);
@@ -654,10 +913,17 @@ class Server
         if (migrate) {
             ++rep.migrations;
             TenantSpec cont = rep.spec;
-            cont.total_records = rep.spec.total_records - rep.records;
+            if (rep.spec.logical_time) {
+                cont.start_record = position;
+                cont.total_records = rep.spec.total_records - position;
+            } else {
+                cont.total_records = rep.spec.total_records - rep.records;
+            }
             start(target, cont, now);
             return;
         }
+
+        ckpts_.erase(id);
 
         rep.admission = Admission::kAdmitted;
         rep.finished_at = now;
@@ -692,6 +958,8 @@ class Server
     void
     onShardBreach(uint32_t s)
     {
+        if (shard_dead_[s])
+            return; // a dead shard's pressure no longer matters
         EngineShard &sh = *shards_[s];
         runtime::StreamId victim = 0;
         uint64_t victim_used = 0;
@@ -711,7 +979,7 @@ class Server
         uint32_t target = s;
         double target_frac = 2.0;
         for (uint32_t u = 0; u < cfg_.shards; ++u) {
-            if (u == s)
+            if (u == s || shard_dead_[u])
                 continue;
             const double f = shards_[u]
                                  ->eng->memory()
@@ -744,11 +1012,13 @@ class Server
     bool
     stealInto(uint32_t s)
     {
+        if (shard_dead_[s])
+            return false; // dead shards lend no cycles...
         uint32_t victim = s;
         uint64_t victim_backlog = 0;
         for (uint32_t u = 0; u < cfg_.shards; ++u) {
-            if (u == s)
-                continue;
+            if (u == s || shard_dead_[u])
+                continue; // ...and their zombie work is not stolen
             const uint64_t q = shards_[u]->eng->exec().queuedTasks();
             if (q >= cfg_.steal_min_backlog && q > victim_backlog) {
                 victim_backlog = q;
@@ -765,6 +1035,346 @@ class Server
         return true;
     }
 
+    // ---------------------------------------------------------------
+    // Fault tolerance: injection, crash, failover, checkpointing.
+    // ---------------------------------------------------------------
+
+    static constexpr uint32_t kNoShard = ~0u;
+
+    /** Append one deterministic line to the recovery trace. */
+    void
+    trace(const char *fmt, ...)
+    {
+        char buf[192];
+        va_list ap;
+        va_start(ap, fmt);
+        vsnprintf(buf, sizeof(buf), fmt, ap);
+        va_end(ap);
+        trace_.push_back(buf);
+    }
+
+    /** The session @p id currently runs as, wherever it is. */
+    Tenant *
+    findTenant(runtime::StreamId id)
+    {
+        for (auto &sh : shards_) {
+            auto it = sh->tenants.find(id);
+            if (it != sh->tenants.end())
+                return it->second.get();
+        }
+        return nullptr;
+    }
+
+    /**
+     * Dispatch one injected fault. Fires on the control-plane machine
+     * inside the globally-earliest event, so syncing any shard forward
+     * before acting on it is legal.
+     */
+    void
+    onFault(const sim::FaultEvent &e)
+    {
+        const SimTime now = shards_[0]->eng->machine().now();
+        trace("t=%llu fault %s shard=%u tenant=%u arg=%llu arg2=%llu",
+              (unsigned long long)now, sim::faultKindName(e.kind),
+              e.shard, e.tenant, (unsigned long long)e.arg,
+              (unsigned long long)e.arg2);
+        switch (e.kind) {
+          case sim::FaultKind::kShardCrash:
+            crashShard(e.shard);
+            break;
+          case sim::FaultKind::kAllocFail:
+            if (e.shard < cfg_.shards && !shard_dead_[e.shard]) {
+                shards_[e.shard]->eng->memory().failNextAllocs(
+                    static_cast<uint32_t>(e.arg));
+            }
+            break;
+          case sim::FaultKind::kIngestStall:
+            if (Tenant *t = findTenant(e.tenant))
+                t->sourceA().stallUntil(now
+                                        + static_cast<SimTime>(e.arg));
+            break;
+          case sim::FaultKind::kIngestDrop:
+            if (Tenant *t = findTenant(e.tenant))
+                t->sourceA().dropBundles(e.arg);
+            break;
+          case sim::FaultKind::kSlowShard:
+            if (e.shard < cfg_.shards && !shard_dead_[e.shard]) {
+                EngineShard &sh = *shards_[e.shard];
+                sh.eng->machine().syncTo(now);
+                sh.eng->exec().setCoreLimit(
+                    static_cast<unsigned>(e.arg));
+                // Degradation is transient: restore the full core
+                // count after the fault's duration.
+                sh.eng->machine().after(
+                    static_cast<SimTime>(e.arg2),
+                    [this, s = e.shard] {
+                        shards_[s]->eng->exec().setCoreLimit(0);
+                    },
+                    /*daemon=*/true);
+            }
+            break;
+        }
+    }
+
+    /**
+     * Kill shard @p s: halt every resident session's sources, settle
+     * their metrics at the crash instant, and queue them for recovery
+     * on the survivors. The dead engine's event queue is NOT cleared —
+     * in-flight (zombie) work drains naturally, since bandwidth-flow
+     * callbacks keep task state alive — but its output is no longer
+     * observed, and the shard takes no new sessions, lends no cycles
+     * and is skipped by placement forever after. Shard 0 hosts the
+     * control plane (modelled as replicated) and never crashes.
+     */
+    void
+    crashShard(uint32_t s)
+    {
+        sbhbm_assert(s != 0, "the control-plane shard cannot crash");
+        if (s >= cfg_.shards || shard_dead_[s])
+            return;
+        EngineShard &sh = *shards_[s];
+        const SimTime now = shards_[0]->eng->machine().now();
+        sh.eng->machine().syncTo(now);
+        shard_dead_[s] = true;
+        registry_.setShardDown(s);
+
+        std::vector<runtime::StreamId> ids;
+        for (auto &[id, t] : sh.tenants)
+            ids.push_back(id);
+        trace("t=%llu crash shard=%u sessions=%zu",
+              (unsigned long long)now, s, ids.size());
+        for (runtime::StreamId id : ids) {
+            std::unique_ptr<Tenant> dead = std::move(sh.tenants[id]);
+            sh.tenants.erase(id);
+            Tenant &t = *dead;
+            t.halt();
+            migrating_.erase(id); // recovery supersedes any handoff
+
+            TenantReport &rep = reports_[id];
+            ++rep.crashes;
+            const uint64_t position =
+                t.migratable() ? t.sourceA().streamPosition() : 0;
+            const bool recoverable =
+                t.migratable() && rep.spec.logical_time;
+            const TenantCheckpoint *ck =
+                recoverable ? ckpts_.find(id) : nullptr;
+            const bool use_ck = ck != nullptr && ck->restorable
+                                && ck->position <= position;
+            // The transactional-sink cut: output past the last
+            // checkpoint (or all of it, for scratch-restart) is
+            // uncommitted — rolled back from the report and
+            // redelivered by the recovery. Unrecoverable sessions
+            // keep everything they managed to deliver.
+            const columnar::WindowId commit =
+                !recoverable ? kAllWindows
+                             : (use_ck ? ck->next_close : 0);
+            accumulate(s, id, t, commit);
+            // The Tenant object stays alive until Server destruction:
+            // zombie tasks on the dead shard still reference its
+            // operators and bundles.
+            graveyard_.push_back(std::move(dead));
+            if (!recoverable) {
+                // Two-stream or physical-time sessions cannot replay
+                // bit-identically: lost. Release the reservation so
+                // waiters admit.
+                rep.lost = true;
+                rep.finished_at = now;
+                trace("t=%llu lost tenant=%u (unrecoverable)",
+                      (unsigned long long)now, id);
+                for (const TenantSpec &next : registry_.release(id))
+                    start(registry_.shardOf(next.id), next, now);
+                continue;
+            }
+
+            PendingRecovery pr;
+            pr.id = id;
+            pr.crashed_at = now;
+            pr.dedup_before = commit;
+            pr.cont = rep.spec;
+            pr.use_checkpoint = use_ck;
+            if (pr.use_checkpoint) {
+                pr.cont.start_record = ck->position;
+                pr.cont.total_records =
+                    rep.spec.total_records - ck->position;
+            } else {
+                // Scratch-restart: full replay, output deduplicated.
+                pr.cont.start_record = 0;
+                pr.cont.total_records = rep.spec.total_records;
+            }
+            pr.replay = position - pr.cont.start_record;
+            pending_recovery_.push_back(std::move(pr));
+        }
+        scheduleRecovery();
+    }
+
+    /** Least-loaded live shard (registry load), or kNoShard. */
+    uint32_t
+    pickRecoveryShard() const
+    {
+        uint32_t best = kNoShard;
+        double best_load = 0;
+        for (uint32_t s = 0; s < cfg_.shards; ++s) {
+            if (shard_dead_[s])
+                continue;
+            const double l = registry_.shardLoad(s);
+            if (best == kNoShard || l < best_load) {
+                best = s;
+                best_load = l;
+            }
+        }
+        return best;
+    }
+
+    void
+    scheduleRecovery()
+    {
+        if (pending_recovery_.empty() || recovery_scheduled_)
+            return;
+        recovery_scheduled_ = true;
+        // Non-daemon: a pending failover is live work — the fleet
+        // must not drain out from under it.
+        shards_[0]->eng->machine().after(
+            cfg_.fault.recovery_delay, [this] { recoveryTick(); });
+    }
+
+    /**
+     * Try to place every pending recovery on a live shard (moving the
+     * session's reservation with it). Placements that do not fit yet
+     * retry with the recovery delay as backoff; after
+     * max_recovery_attempts the session is declared lost so the run
+     * always terminates.
+     */
+    void
+    recoveryTick()
+    {
+        recovery_scheduled_ = false;
+        const SimTime now = shards_[0]->eng->machine().now();
+        std::vector<PendingRecovery> still;
+        for (PendingRecovery &pr : pending_recovery_) {
+            const uint32_t target = pickRecoveryShard();
+            if (target == kNoShard
+                || !registry_.migrate(pr.id, target)) {
+                if (++pr.attempts >= cfg_.fault.max_recovery_attempts) {
+                    TenantReport &rep = reports_[pr.id];
+                    rep.lost = true;
+                    rep.finished_at = now;
+                    trace("t=%llu lost tenant=%u (no placement after"
+                          " %u attempts)",
+                          (unsigned long long)now, pr.id, pr.attempts);
+                    for (const TenantSpec &next :
+                         registry_.release(pr.id))
+                        start(registry_.shardOf(next.id), next, now);
+                } else {
+                    still.push_back(std::move(pr));
+                }
+                continue;
+            }
+            recover(pr, target, now);
+        }
+        pending_recovery_ = std::move(still);
+        scheduleRecovery();
+    }
+
+    /** Restart crashed session @p pr on live shard @p target. */
+    void
+    recover(const PendingRecovery &pr, uint32_t target, SimTime now)
+    {
+        TenantReport &rep = reports_[pr.id];
+        const TenantCheckpoint *ck =
+            pr.use_checkpoint ? ckpts_.find(pr.id) : nullptr;
+        EngineShard &sh = *shards_[target];
+        sh.eng->machine().syncTo(now);
+        snapSegmentBase(target, pr.id);
+
+        auto tenant = std::make_unique<Tenant>(
+            *sh.eng, pr.cont, cfg_.window_ns, seedFor(rep.spec));
+        Tenant &t = *tenant;
+        if (ck != nullptr)
+            t.restoreFrom(*ck);
+        // Windows committed before the crash are never redelivered:
+        // any replayed output for them is deduplicated at the sink.
+        t.pipe().resumeFrom(pr.dedup_before);
+        t.egress().setDedupBefore(pr.dedup_before);
+        sh.tenants[pr.id] = std::move(tenant);
+        if (cfg_.fair_share)
+            sh.sched.setWeight(pr.id, rep.spec.weight);
+        t.start();
+        t.sla().noteOutage(now - pr.crashed_at);
+        ++rep.recoveries;
+        rep.records_replayed += pr.replay;
+        trace("t=%llu recover tenant=%u shard=%u mode=%s pos=%llu"
+              " dedup<%llu replay=%llu",
+              (unsigned long long)now, pr.id, target,
+              ck != nullptr ? "checkpoint" : "scratch",
+              (unsigned long long)pr.cont.start_record,
+              (unsigned long long)pr.dedup_before,
+              (unsigned long long)pr.replay);
+        sh.eng->machine().after(
+            kNsPerMs, [this, target, id = pr.id] { poll(target, id); });
+        if (cfg_.fault.checkpoint_period > 0 && t.migratable()
+            && pr.cont.logical_time)
+            scheduleCheckpoint(target, pr.id);
+    }
+
+    void
+    scheduleCheckpoint(uint32_t s, runtime::StreamId id)
+    {
+        // Daemon: the periodic cadence never keeps a drained fleet
+        // alive; a checkpoint in progress (quiesceWait) does.
+        shards_[s]->eng->machine().after(
+            cfg_.fault.checkpoint_period,
+            [this, s, id] { checkpointTick(s, id); },
+            /*daemon=*/true);
+    }
+
+    /** Begin one checkpoint: pause the source, then wait for full
+     *  quiescence so the cut is exact. */
+    void
+    checkpointTick(uint32_t s, runtime::StreamId id)
+    {
+        if (shard_dead_[s])
+            return;
+        EngineShard &sh = *shards_[s];
+        auto it = sh.tenants.find(id);
+        if (it == sh.tenants.end())
+            return; // drained, crashed or migrated away
+        it->second->sourceA().pause();
+        quiesceWait(s, id);
+    }
+
+    void
+    quiesceWait(uint32_t s, runtime::StreamId id)
+    {
+        if (shard_dead_[s])
+            return;
+        EngineShard &sh = *shards_[s];
+        auto it = sh.tenants.find(id);
+        if (it == sh.tenants.end())
+            return; // crashed mid-quiesce (halt() clears the pause)
+        Tenant &t = *it->second;
+        if (!t.quiesced()) {
+            // Non-daemon: an in-progress cut holds the fleet until it
+            // lands and the source resumes.
+            sh.eng->machine().after(
+                cfg_.fault.quiesce_poll,
+                [this, s, id] { quiesceWait(s, id); });
+            return;
+        }
+        sim::CostLog log;
+        TenantCheckpoint c = t.capture(
+            cfg_.fault.incremental ? ckpts_.find(id) : nullptr, log);
+        TenantReport &rep = reports_[id];
+        ++rep.checkpoints;
+        rep.checkpoint_copied_bytes += c.copiedBytes();
+        rep.checkpoint_reused_bytes += c.reusedBytes();
+        // Copy traffic is real work on the shard: charge it through
+        // the machine DMA-style, like the director's demotion sweeps.
+        sh.eng->machine().execute(std::move(log), [] {});
+        ckpts_.put(std::move(c));
+        t.sourceA().resume();
+        scheduleCheckpoint(s, id);
+    }
+
     ServeConfig cfg_;
     std::vector<std::unique_ptr<EngineShard>> shards_;
     TenantRegistry registry_;
@@ -774,6 +1384,17 @@ class Server
     std::map<runtime::StreamId, uint32_t> migrating_;
     std::vector<TenantReport> report_list_;
     bool ran_ = false;
+
+    // Fault tolerance. graveyard_ is declared after shards_ so dead
+    // Tenants (whose operators zombie tasks referenced) are destroyed
+    // while their engines are still alive.
+    std::unique_ptr<sim::FaultInjector> injector_;
+    std::vector<bool> shard_dead_;
+    std::vector<std::unique_ptr<Tenant>> graveyard_;
+    std::vector<PendingRecovery> pending_recovery_;
+    bool recovery_scheduled_ = false;
+    CheckpointStore ckpts_;
+    std::vector<std::string> trace_;
 };
 
 } // namespace sbhbm::serve

@@ -97,6 +97,24 @@ class SlaTracker
     /** Times the tenant *entered* breach (demotion episodes). */
     uint64_t breaches() const { return breaches_; }
 
+    // ---------------------------------------------------------------
+    // Fault-tolerance accounting (filled by the recovery layer).
+    // ---------------------------------------------------------------
+
+    /** The session's shard died and it was down for @p downtime. */
+    void
+    noteOutage(SimTime downtime)
+    {
+        ++outages_;
+        downtime_ns_ += downtime;
+    }
+
+    /** Crash→restart episodes this session went through. */
+    uint64_t outages() const { return outages_; }
+
+    /** Total virtual time the session spent dead, ns. */
+    SimTime downtimeNs() const { return downtime_ns_; }
+
     /** Watermark latency percentile, seconds (0 when no windows). */
     double p50() const { return latencies_.percentile(50); }
     double p95() const { return latencies_.percentile(95); }
@@ -114,6 +132,8 @@ class SlaTracker
     size_t cursor_ = 0;
     bool breached_ = false;
     uint64_t breaches_ = 0;
+    uint64_t outages_ = 0;
+    SimTime downtime_ns_ = 0;
     uint32_t ok_streak_ = 0;
     uint32_t recover_after_ = 4;
 };

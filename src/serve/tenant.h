@@ -25,9 +25,12 @@
 
 #include "common/units.h"
 #include "ingest/source.h"
+#include "pipeline/egress.h"
+#include "pipeline/operator.h"
 #include "pipeline/pipeline.h"
 #include "queries/query.h"
 #include "runtime/engine.h"
+#include "serve/checkpoint.h"
 #include "serve/sla_tracker.h"
 
 namespace sbhbm::serve {
@@ -90,6 +93,24 @@ struct TenantSpec
 
     /** Workload seed; 0 derives one deterministically from the id. */
     uint64_t seed = 0;
+
+    /**
+     * Stamp records with logical event time (record i at
+     * i/offered_rate seconds — a pure function of stream position, so
+     * a replay reproduces the original timestamps bit for bit).
+     * Requires offered_rate > 0. Fault-tolerant recovery needs it;
+     * without it a session whose shard crashes is lost.
+     */
+    bool logical_time = false;
+
+    /**
+     * Resume offset: records a previous incarnation of this session
+     * already consumed (checkpoint restore / migration continuation).
+     * The generators fast-forward past them and, under logical_time,
+     * timestamps continue the original timeline. Single-stream
+     * sessions only.
+     */
+    uint64_t start_record = 0;
 };
 
 /** One admitted, running session. */
@@ -124,11 +145,15 @@ class Tenant
         scfg.poisson_arrivals = spec_.poisson_arrivals;
         scfg.bundles_per_watermark = spec_.bundles_per_watermark;
         scfg.arrival_seed = seed ^ 0x9e3779b97f4a7c15ULL;
+        scfg.logical_time = spec_.logical_time;
+        scfg.start_record = spec_.start_record;
 
         src_a_ = std::make_unique<ingest::Source>(
             eng, *pipe_, *built_.gen_a, built_.entry_a, scfg,
             built_.port_a);
         if (built_.entry_b != nullptr) {
+            sbhbm_assert(spec_.start_record == 0,
+                         "two-stream sessions cannot resume mid-stream");
             scfg.arrival_seed ^= 0xbf58476d1ce4e5b9ULL;
             src_b_ = std::make_unique<ingest::Source>(
                 eng, *pipe_, *built_.gen_b, built_.entry_b, scfg,
@@ -188,6 +213,118 @@ class Tenant
     {
         sbhbm_assert(migratable(), "two-stream sessions do not migrate");
         src_a_->truncate();
+    }
+
+    // ---------------------------------------------------------------
+    // Fault tolerance.
+    // ---------------------------------------------------------------
+
+    /**
+     * The session's shard crashed: stop its sources forever. The
+     * session's in-flight (zombie) work drains on the dead shard but
+     * its output is no longer observed; the recovery layer restarts
+     * the session elsewhere from its last checkpoint.
+     */
+    void
+    halt()
+    {
+        src_a_->halt();
+        if (src_b_)
+            src_b_->halt();
+    }
+
+    /** Primary source (fault targeting, checkpoint quiesce). */
+    ingest::Source &sourceA() { return *src_a_; }
+    const ingest::Source &sourceA() const { return *src_a_; }
+
+    /** The pipeline sink (output counts, checksums, dedup horizon). */
+    pipeline::EgressOp &egress() { return *built_.egress; }
+    const pipeline::EgressOp &egress() const { return *built_.egress; }
+
+    /** SLA-aware load shedding on every source of the session. */
+    void
+    setShedding(bool on)
+    {
+        src_a_->setShedding(on);
+        if (src_b_)
+            src_b_->setShedding(on);
+    }
+
+    /** Records consumed from the stream but dropped unprocessed. */
+    uint64_t
+    recordsShed() const
+    {
+        return src_a_->recordsShed()
+               + (src_b_ ? src_b_->recordsShed() : 0);
+    }
+
+    /**
+     * True when the ingestion stage and the executor stream are both
+     * empty: the session's state is exactly the result of the records
+     * consumed so far, with nothing in flight.
+     */
+    bool
+    quiesced() const
+    {
+        const auto &ss = eng_.exec().streamStats(spec_.id);
+        return src_a_->deliveryIdle()
+               && (!src_b_ || src_b_->deliveryIdle())
+               && ss.spawned == ss.completed;
+    }
+
+    /**
+     * Capture a checkpoint. Caller must hold the session quiesced()
+     * (source paused, nothing in flight). @p prev is the previous
+     * capture for incremental reuse (may be nullptr). Copy traffic is
+     * charged to @p log DMA-style; the caller executes it on the
+     * shard's machine.
+     */
+    TenantCheckpoint
+    capture(const TenantCheckpoint *prev, sim::CostLog &log)
+    {
+        sbhbm_assert(quiesced(), "checkpoint of a non-quiesced session");
+        TenantCheckpoint c;
+        c.id = spec_.id;
+        c.taken_at = eng_.machine().now();
+        c.watermark = src_a_->emittedWatermark();
+        c.position = src_a_->streamPosition();
+        c.next_close = pipe_->targetWindow();
+        c.restorable = migratable() && spec_.logical_time;
+        const auto &ops = pipe_->operators();
+        c.ops.resize(ops.size());
+        for (size_t i = 0; i < ops.size(); ++i) {
+            const pipeline::OperatorSnapshot *p =
+                prev != nullptr && i < prev->ops.size() ? &prev->ops[i]
+                                                        : nullptr;
+            const pipeline::SnapshotSupport sup =
+                ops[i]->snapshotState(c.ops[i], p, log);
+            c.ops[i].op = ops[i]->name();
+            c.ops[i].support = sup;
+            if (sup == pipeline::SnapshotSupport::kUnsupported)
+                c.restorable = false;
+        }
+        return c;
+    }
+
+    /**
+     * Reinstall checkpointed operator state into this freshly built
+     * session (before start()). The spec's start_record must equal the
+     * checkpoint's position so replay continues exactly at the cut.
+     */
+    void
+    restoreFrom(const TenantCheckpoint &c)
+    {
+        sbhbm_assert(c.restorable, "restoring a non-restorable cut");
+        sbhbm_assert(spec_.start_record == c.position,
+                     "restore offset %llu != checkpoint position %llu",
+                     (unsigned long long)spec_.start_record,
+                     (unsigned long long)c.position);
+        const auto &ops = pipe_->operators();
+        sbhbm_assert(c.ops.size() == ops.size(),
+                     "checkpoint/pipeline shape mismatch");
+        for (size_t i = 0; i < ops.size(); ++i)
+            if (c.ops[i].support == pipeline::SnapshotSupport::kSupported)
+                ops[i]->restoreState(c.ops[i]);
     }
 
     const TenantSpec &spec() const { return spec_; }

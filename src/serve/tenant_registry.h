@@ -126,6 +126,7 @@ class TenantRegistry
         live_.resize(cfg.shards);
         unmeasured_total_.assign(cfg.shards, 0);
         load_.assign(cfg.shards, 0.0);
+        down_.assign(cfg.shards, false);
     }
 
     TenantRegistry(const TenantRegistry &) = delete;
@@ -258,6 +259,8 @@ class TenantRegistry
         Resident &r = it->second;
         if (r.shard == to_shard)
             return true;
+        if (down_[to_shard])
+            return false; // never migrate onto a dead shard
         if (cfg_.mode == AdmissionMode::kStaticReservation) {
             if (!gauges_[to_shard].tryReserve(r.reserve, /*urgent=*/false))
                 return false;
@@ -272,6 +275,31 @@ class TenantRegistry
         r.shard = to_shard;
         ++migrations_;
         return true;
+    }
+
+    /**
+     * Shard @p s crashed: stop placing sessions on it. Sessions
+     * resident there stay accounted to it (their reservations travel
+     * with the recovery migrate() or are released when the session is
+     * declared lost); new admissions and migrations skip it.
+     */
+    void
+    setShardDown(uint32_t s)
+    {
+        down_[s] = true;
+    }
+
+    /** Is shard @p s marked down? */
+    bool shardDown(uint32_t s) const { return down_[s]; }
+
+    /** Live (not-down) shards. */
+    uint32_t
+    liveShards() const
+    {
+        uint32_t n = 0;
+        for (uint32_t s = 0; s < cfg_.shards; ++s)
+            n += down_[s] ? 0 : 1;
+        return n;
     }
 
     uint32_t active() const { return active_; }
@@ -380,6 +408,8 @@ class TenantRegistry
                              return load_[a] < load_[b];
                          });
         for (uint32_t s : order_) {
+            if (down_[s])
+                continue; // dead shards take no new sessions
             if (cfg_.mode == AdmissionMode::kLivePressure) {
                 // Gauge-aware admission: measured pressure plus the
                 // reserves of not-yet-measured recent admits plus
@@ -440,6 +470,7 @@ class TenantRegistry
     std::map<runtime::StreamId, Unmeasured> unmeasured_;
     std::vector<uint64_t> unmeasured_total_;
     std::vector<double> load_;
+    std::vector<bool> down_;
     std::deque<TenantSpec> waiting_;
     std::vector<uint32_t> order_;
     uint32_t active_ = 0;

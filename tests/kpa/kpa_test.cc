@@ -92,14 +92,12 @@ TEST_F(KpaTest, SourceLinksHoldBundleReferences)
 
 TEST_F(KpaTest, BundleSurvivesViaKpaAfterPipelineDropsIt)
 {
-    Bundle *raw = nullptr;
     KpaPtr k = Kpa::create(hm_, 10, Placement{mem::Tier::kHbm, false});
     {
         BundleHandle b = makeBundle(3, 10);
-        raw = b.get();
-        k->addSource(raw);
+        k->addSource(b.get());
     } // pipeline reference dropped; KPA keeps the bundle alive
-    EXPECT_EQ(raw->refcount(), 1u);
+    EXPECT_EQ(k->sources().front()->refcount(), 1u);
     EXPECT_GT(hm_.gauge(mem::Tier::kDram).used(), 0u);
     k.reset(); // last reference: bundle reclaimed
     EXPECT_EQ(hm_.gauge(mem::Tier::kDram).used(), 0u);
