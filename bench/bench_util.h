@@ -15,6 +15,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/json_writer.h"
+
 namespace sbhbm::bench {
 
 /** The x-axis of Figs 2, 7, 8, 9. */
@@ -168,42 +170,32 @@ class JsonReport
     bool
     writeTo(const std::string &path) const
     {
-        std::FILE *f = std::fopen(path.c_str(), "w");
-        if (f == nullptr)
-            return false;
         const unsigned hw = std::thread::hardware_concurrency();
-        std::fprintf(f, "{\n");
-        std::fprintf(f, "  \"schema\": \"sbhbm-bench-v2\",\n");
-        std::fprintf(f, "  \"host_cores\": %u,\n", hw >= 1 ? hw : 1);
-        std::fprintf(f, "  \"git_rev\": \"%s\",\n",
-                     (git_rev_.empty() ? detectGitRev() : git_rev_)
-                         .c_str());
-        std::fprintf(f, "  \"benchmarks\": [\n");
-        for (size_t i = 0; i < results_.size(); ++i) {
-            const BenchResult &r = results_[i];
-            std::fprintf(f, "    {\n");
-            std::fprintf(f, "      \"name\": \"%s\",\n",
-                         r.name.c_str());
-            std::fprintf(f, "      \"ns_per_op\": %.2f,\n", r.ns_per_op);
-            std::fprintf(f, "      \"items\": %llu,\n",
-                         static_cast<unsigned long long>(r.items));
-            std::fprintf(f, "      \"items_per_sec\": %.0f,\n",
-                         r.items_per_sec);
-            std::fprintf(f, "      \"threads\": %d,\n", r.threads);
-            std::fprintf(f, "      \"iters\": %d", r.iters);
+        obs::JsonWriter w;
+        w.beginObject();
+        w.key("schema").value("sbhbm-bench-v2");
+        w.key("host_cores").value(hw >= 1 ? hw : 1);
+        w.key("git_rev").value(git_rev_.empty() ? detectGitRev()
+                                                : git_rev_);
+        w.key("benchmarks").beginArray();
+        for (const BenchResult &r : results_) {
+            w.beginObject();
+            w.key("name").value(r.name);
+            w.key("ns_per_op").value(r.ns_per_op, 2);
+            w.key("items").value(r.items);
+            w.key("items_per_sec").value(r.items_per_sec, 0);
+            w.key("threads").value(r.threads);
+            w.key("iters").value(r.iters);
             if (r.baseline_ns_per_op > 0) {
-                std::fprintf(f, ",\n      \"baseline_ns_per_op\": %.2f,\n",
-                             r.baseline_ns_per_op);
-                std::fprintf(f, "      \"speedup\": %.2f\n", r.speedup);
-            } else {
-                std::fprintf(f, "\n");
+                w.key("baseline_ns_per_op").value(r.baseline_ns_per_op,
+                                                  2);
+                w.key("speedup").value(r.speedup, 2);
             }
-            std::fprintf(f, "    }%s\n",
-                         i + 1 < results_.size() ? "," : "");
+            w.endObject();
         }
-        std::fprintf(f, "  ]\n}\n");
-        const bool ok = std::fclose(f) == 0;
-        return ok;
+        w.endArray();
+        w.endObject();
+        return w.writeFile(path);
     }
 
   private:

@@ -28,13 +28,22 @@
  * downtime — with the exactly-once acceptance checked as shape
  * tests: no session lost, records conserved across the replay, and
  * every point's per-window output bit-identical to the fault-free
- * baseline. Written to BENCH_serve.json (schema sbhbm-serve-v4) for
+ * baseline. Written to BENCH_serve.json (schema sbhbm-serve-v5) for
  * the CI artifact.
  *
- * Usage: serve_report [--smoke] [--out <path>]
+ * Schema v5 adds SLA breach attribution to the overload point: each
+ * tenant's watermark latency decomposed into recovery-replay, ingest-
+ * wait, memory-stall, sched-queue and compute components (summing
+ * exactly to the measured latency), the dominant cause of its
+ * violating windows, and a pooled latency histogram. With --trace the
+ * overload point also records the unified telemetry plane and writes
+ * a Chrome trace_event JSON timeline.
+ *
+ * Usage: serve_report [--smoke] [--out <path>] [--trace <path>]
  */
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -42,6 +51,8 @@
 
 #include "bench_util.h"
 #include "common/stats.h"
+#include "obs/json_writer.h"
+#include "obs/trace.h"
 #include "serve/load_driver.h"
 #include "serve/server.h"
 
@@ -76,6 +87,25 @@ toTenantMem(const TenantReport &r)
     return tm;
 }
 
+/** One tenant's SLA breach attribution (the v5 addition). */
+struct TenantAttr
+{
+    uint32_t id = 0;
+    uint64_t windows = 0;
+    uint64_t sla_violations = 0;
+    double total_latency_ns = 0;
+    double comp_ns[serve::kStallCauses] = {};
+    double breach_ns[serve::kStallCauses] = {};
+    const char *dominant = "compute";
+};
+
+/** Pooled latency histogram (SampleSet::histogram buckets). */
+struct LatencyHist
+{
+    std::vector<double> bounds_ms;
+    std::vector<uint64_t> counts; //!< bounds + one overflow slot
+};
+
 struct Point
 {
     uint32_t tenants = 0;
@@ -90,6 +120,10 @@ struct Point
     uint64_t rejected = 0;
     uint64_t demoted_kpas = 0;
     std::vector<TenantMem> tenant_mem;
+
+    /** Filled for the overload point only (empty elsewhere). */
+    std::vector<TenantAttr> attribution;
+    LatencyHist latency_hist;
 };
 
 Point
@@ -151,10 +185,12 @@ runPoint(uint32_t tenants, bool smoke)
  * live-pressure admission and SLA demotion all enabled.
  */
 Point
-runOverloadPoint(bool smoke)
+runOverloadPoint(bool smoke, obs::Telemetry *tele = nullptr)
 {
-    serve::Server server(
-        serve::overloadServeConfig(kCores, /*control_plane=*/true));
+    serve::ServeConfig cfg =
+        serve::overloadServeConfig(kCores, /*control_plane=*/true);
+    cfg.telemetry = tele;
+    serve::Server server(cfg);
     const uint64_t records = smoke ? 150'000 : 600'000;
     server.submitFleet(serve::makeOverloadFleet(records));
     server.run();
@@ -172,9 +208,28 @@ runOverloadPoint(bool smoke)
         for (double s : r.latency_samples)
             pooled.add(s);
         p.tenant_mem.push_back(toTenantMem(r));
+
+        TenantAttr ta;
+        ta.id = r.spec.id;
+        ta.windows = r.windows;
+        ta.sla_violations = r.sla_violations;
+        for (double s : r.latency_samples)
+            ta.total_latency_ns += s * 1e9;
+        for (uint32_t c = 0; c < serve::kStallCauses; ++c) {
+            ta.comp_ns[c] = r.attribution_ns[c];
+            ta.breach_ns[c] = r.breach_attribution_ns[c];
+        }
+        ta.dominant = serve::stallCauseName(r.dominant_cause);
+        p.attribution.push_back(ta);
     }
     p.p50_s = pooled.percentile(50);
     p.p99_s = pooled.percentile(99);
+    // The pooled latency distribution, bucketed (ms upper bounds).
+    p.latency_hist.bounds_ms = {10, 50, 100, 500, 1000};
+    std::vector<double> bounds_s;
+    for (double b : p.latency_hist.bounds_ms)
+        bounds_s.push_back(b / 1e3);
+    p.latency_hist.counts = pooled.histogram(bounds_s);
     return p;
 }
 
@@ -390,115 +445,116 @@ runFailoverPoint(SimTime checkpoint_period, bool smoke,
 }
 
 void
-writePoint(std::FILE *f, const Point &p, const char *indent,
-           const char *trailer)
+writePoint(obs::JsonWriter &w, const Point &p)
 {
-    std::fprintf(f, "%s{\n", indent);
-    std::fprintf(f, "%s  \"tenants\": %u,\n", indent, p.tenants);
-    std::fprintf(f, "%s  \"aggregate_mrps\": %.3f,\n", indent,
-                 p.aggregate_mrps);
-    std::fprintf(f, "%s  \"p50_s\": %.6f,\n", indent, p.p50_s);
-    std::fprintf(f, "%s  \"p99_s\": %.6f,\n", indent, p.p99_s);
-    std::fprintf(f, "%s  \"fairness\": %.4f,\n", indent, p.fairness);
-    std::fprintf(f, "%s  \"windows\": %llu,\n", indent,
-                 static_cast<unsigned long long>(p.windows));
-    std::fprintf(f, "%s  \"sla_violations\": %llu,\n", indent,
-                 static_cast<unsigned long long>(p.sla_violations));
-    std::fprintf(f, "%s  \"admitted\": %llu,\n", indent,
-                 static_cast<unsigned long long>(p.admitted));
-    std::fprintf(f, "%s  \"queued\": %llu,\n", indent,
-                 static_cast<unsigned long long>(p.queued));
-    std::fprintf(f, "%s  \"rejected\": %llu,\n", indent,
-                 static_cast<unsigned long long>(p.rejected));
-    std::fprintf(f, "%s  \"demoted_kpas\": %llu,\n", indent,
-                 static_cast<unsigned long long>(p.demoted_kpas));
-    std::fprintf(f, "%s  \"tenant_mem\": [\n", indent);
-    for (size_t t = 0; t < p.tenant_mem.size(); ++t) {
-        const TenantMem &tm = p.tenant_mem[t];
-        std::fprintf(
-            f,
-            "%s    {\"id\": %u, \"hbm_peak_bytes\": %llu, "
-            "\"demoted_kpas\": %llu, \"demoted_bytes\": %llu, "
-            "\"sla_demotions\": %llu}%s\n",
-            indent, tm.id,
-            static_cast<unsigned long long>(tm.hbm_peak_bytes),
-            static_cast<unsigned long long>(tm.demoted_kpas),
-            static_cast<unsigned long long>(tm.demoted_bytes),
-            static_cast<unsigned long long>(tm.sla_demotions),
-            t + 1 < p.tenant_mem.size() ? "," : "");
+    w.beginObject();
+    w.key("tenants").value(p.tenants);
+    w.key("aggregate_mrps").value(p.aggregate_mrps, 3);
+    w.key("p50_s").value(p.p50_s, 6);
+    w.key("p99_s").value(p.p99_s, 6);
+    w.key("fairness").value(p.fairness, 4);
+    w.key("windows").value(p.windows);
+    w.key("sla_violations").value(p.sla_violations);
+    w.key("admitted").value(p.admitted);
+    w.key("queued").value(p.queued);
+    w.key("rejected").value(p.rejected);
+    w.key("demoted_kpas").value(p.demoted_kpas);
+    w.key("tenant_mem").beginArray();
+    for (const TenantMem &tm : p.tenant_mem) {
+        w.beginObject();
+        w.key("id").value(tm.id);
+        w.key("hbm_peak_bytes").value(tm.hbm_peak_bytes);
+        w.key("demoted_kpas").value(tm.demoted_kpas);
+        w.key("demoted_bytes").value(tm.demoted_bytes);
+        w.key("sla_demotions").value(tm.sla_demotions);
+        w.endObject();
     }
-    std::fprintf(f, "%s  ]\n", indent);
-    std::fprintf(f, "%s}%s\n", indent, trailer);
+    w.endArray();
+    if (!p.attribution.empty()) {
+        w.key("attribution").beginArray();
+        for (const TenantAttr &ta : p.attribution) {
+            w.beginObject();
+            w.key("id").value(ta.id);
+            w.key("windows").value(ta.windows);
+            w.key("sla_violations").value(ta.sla_violations);
+            w.key("total_latency_ns").value(ta.total_latency_ns, 1);
+            for (uint32_t c = 0; c < serve::kStallCauses; ++c) {
+                const auto cause = static_cast<serve::StallCause>(c);
+                w.key(std::string(serve::stallCauseName(cause))
+                      + "_ns")
+                    .value(ta.comp_ns[c], 1);
+            }
+            for (uint32_t c = 0; c < serve::kStallCauses; ++c) {
+                const auto cause = static_cast<serve::StallCause>(c);
+                w.key(std::string("breach_")
+                      + serve::stallCauseName(cause) + "_ns")
+                    .value(ta.breach_ns[c], 1);
+            }
+            w.key("dominant_cause").value(ta.dominant);
+            w.endObject();
+        }
+        w.endArray();
+        w.key("latency_hist").beginObject();
+        w.key("bounds_ms").beginArray();
+        for (double b : p.latency_hist.bounds_ms)
+            w.value(b, 1);
+        w.endArray();
+        w.key("counts").beginArray();
+        for (uint64_t c : p.latency_hist.counts)
+            w.value(c);
+        w.endArray();
+        w.endObject();
+    }
+    w.endObject();
 }
 
 void
-writeShardPoint(std::FILE *f, const ShardPoint &p, const char *indent,
-                const char *trailer)
+writeShardPoint(obs::JsonWriter &w, const ShardPoint &p)
 {
-    std::fprintf(f, "%s{\n", indent);
-    std::fprintf(f, "%s  \"shards\": %u,\n", indent, p.shards);
-    std::fprintf(f, "%s  \"tenants\": %u,\n", indent, p.tenants);
-    std::fprintf(f, "%s  \"aggregate_mrps\": %.3f,\n", indent,
-                 p.aggregate_mrps);
-    std::fprintf(f, "%s  \"p50_s\": %.6f,\n", indent, p.p50_s);
-    std::fprintf(f, "%s  \"p99_s\": %.6f,\n", indent, p.p99_s);
-    std::fprintf(f, "%s  \"fairness\": %.4f,\n", indent, p.fairness);
-    std::fprintf(f, "%s  \"admitted\": %llu,\n", indent,
-                 static_cast<unsigned long long>(p.admitted));
-    std::fprintf(f, "%s  \"rejected\": %llu,\n", indent,
-                 static_cast<unsigned long long>(p.rejected));
-    std::fprintf(f, "%s  \"records\": %llu,\n", indent,
-                 static_cast<unsigned long long>(p.records));
-    std::fprintf(f, "%s  \"wall_ms\": %.1f,\n", indent, p.wall_ms);
-    std::fprintf(f, "%s  \"accounting_ok\": %s,\n", indent,
-                 p.accounting_ok ? "true" : "false");
-    std::fprintf(f, "%s  \"per_shard\": [\n", indent);
-    for (size_t i = 0; i < p.rows.size(); ++i) {
-        const ShardRow &r = p.rows[i];
-        std::fprintf(f,
-                     "%s    {\"shard\": %u, \"tenants\": %u, "
-                     "\"tasks\": %llu, \"records\": %llu}%s\n",
-                     indent, r.shard, r.tenants,
-                     static_cast<unsigned long long>(r.tasks),
-                     static_cast<unsigned long long>(r.records),
-                     i + 1 < p.rows.size() ? "," : "");
+    w.beginObject();
+    w.key("shards").value(p.shards);
+    w.key("tenants").value(p.tenants);
+    w.key("aggregate_mrps").value(p.aggregate_mrps, 3);
+    w.key("p50_s").value(p.p50_s, 6);
+    w.key("p99_s").value(p.p99_s, 6);
+    w.key("fairness").value(p.fairness, 4);
+    w.key("admitted").value(p.admitted);
+    w.key("rejected").value(p.rejected);
+    w.key("records").value(p.records);
+    w.key("wall_ms").value(p.wall_ms, 1);
+    w.key("accounting_ok").value(p.accounting_ok);
+    w.key("per_shard").beginArray();
+    for (const ShardRow &r : p.rows) {
+        w.beginObject();
+        w.key("shard").value(r.shard);
+        w.key("tenants").value(r.tenants);
+        w.key("tasks").value(r.tasks);
+        w.key("records").value(r.records);
+        w.endObject();
     }
-    std::fprintf(f, "%s  ]\n", indent);
-    std::fprintf(f, "%s}%s\n", indent, trailer);
+    w.endArray();
+    w.endObject();
 }
 
 void
-writeFailoverPoint(std::FILE *f, const FailoverPoint &p,
-                   const char *indent, const char *trailer)
+writeFailoverPoint(obs::JsonWriter &w, const FailoverPoint &p)
 {
-    std::fprintf(f, "%s{\n", indent);
-    std::fprintf(f, "%s  \"checkpoint_period_ms\": %.3f,\n", indent,
-                 static_cast<double>(p.checkpoint_period) / 1e6);
-    std::fprintf(f, "%s  \"aggregate_mrps\": %.3f,\n", indent,
-                 p.aggregate_mrps);
-    std::fprintf(f, "%s  \"crashes\": %llu,\n", indent,
-                 static_cast<unsigned long long>(p.crashes));
-    std::fprintf(f, "%s  \"recoveries\": %llu,\n", indent,
-                 static_cast<unsigned long long>(p.recoveries));
-    std::fprintf(f, "%s  \"lost\": %llu,\n", indent,
-                 static_cast<unsigned long long>(p.lost));
-    std::fprintf(f, "%s  \"checkpoints\": %llu,\n", indent,
-                 static_cast<unsigned long long>(p.checkpoints));
-    std::fprintf(f, "%s  \"copied_bytes\": %llu,\n", indent,
-                 static_cast<unsigned long long>(p.copied_bytes));
-    std::fprintf(f, "%s  \"reused_bytes\": %llu,\n", indent,
-                 static_cast<unsigned long long>(p.reused_bytes));
-    std::fprintf(f, "%s  \"records_replayed\": %llu,\n", indent,
-                 static_cast<unsigned long long>(p.records_replayed));
-    std::fprintf(f, "%s  \"suppressed_records\": %llu,\n", indent,
-                 static_cast<unsigned long long>(p.suppressed_records));
-    std::fprintf(f, "%s  \"mean_downtime_ms\": %.3f,\n", indent,
-                 p.mean_downtime_ms);
-    std::fprintf(f, "%s  \"output_identical\": %s,\n", indent,
-                 p.output_identical ? "true" : "false");
-    std::fprintf(f, "%s  \"conserved\": %s\n", indent,
-                 p.conserved ? "true" : "false");
-    std::fprintf(f, "%s}%s\n", indent, trailer);
+    w.beginObject();
+    w.key("checkpoint_period_ms")
+        .value(static_cast<double>(p.checkpoint_period) / 1e6, 3);
+    w.key("aggregate_mrps").value(p.aggregate_mrps, 3);
+    w.key("crashes").value(p.crashes);
+    w.key("recoveries").value(p.recoveries);
+    w.key("lost").value(p.lost);
+    w.key("checkpoints").value(p.checkpoints);
+    w.key("copied_bytes").value(p.copied_bytes);
+    w.key("reused_bytes").value(p.reused_bytes);
+    w.key("records_replayed").value(p.records_replayed);
+    w.key("suppressed_records").value(p.suppressed_records);
+    w.key("mean_downtime_ms").value(p.mean_downtime_ms, 3);
+    w.key("output_identical").value(p.output_identical);
+    w.key("conserved").value(p.conserved);
+    w.endObject();
 }
 
 bool
@@ -507,31 +563,26 @@ writeJson(const std::string &path, const std::vector<Point> &points,
           const std::vector<ShardPoint> &shard_points,
           const std::vector<FailoverPoint> &failover_points)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (f == nullptr)
-        return false;
-    std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": \"sbhbm-serve-v4\",\n");
-    std::fprintf(f, "  \"cores\": %u,\n", kCores);
-    std::fprintf(f, "  \"points\": [\n");
-    for (size_t i = 0; i < points.size(); ++i)
-        writePoint(f, points[i], "    ",
-                   i + 1 < points.size() ? "," : "");
-    std::fprintf(f, "  ],\n");
-    std::fprintf(f, "  \"overload\": \n");
-    writePoint(f, overload, "  ", ",");
-    std::fprintf(f, "  \"shard_sweep\": [\n");
-    for (size_t i = 0; i < shard_points.size(); ++i)
-        writeShardPoint(f, shard_points[i], "    ",
-                        i + 1 < shard_points.size() ? "," : "");
-    std::fprintf(f, "  ],\n");
-    std::fprintf(f, "  \"failover_sweep\": [\n");
-    for (size_t i = 0; i < failover_points.size(); ++i)
-        writeFailoverPoint(f, failover_points[i], "    ",
-                           i + 1 < failover_points.size() ? "," : "");
-    std::fprintf(f, "  ]\n");
-    std::fprintf(f, "}\n");
-    return std::fclose(f) == 0;
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("sbhbm-serve-v5");
+    w.key("cores").value(kCores);
+    w.key("points").beginArray();
+    for (const Point &p : points)
+        writePoint(w, p);
+    w.endArray();
+    w.key("overload");
+    writePoint(w, overload);
+    w.key("shard_sweep").beginArray();
+    for (const ShardPoint &p : shard_points)
+        writeShardPoint(w, p);
+    w.endArray();
+    w.key("failover_sweep").beginArray();
+    for (const FailoverPoint &p : failover_points)
+        writeFailoverPoint(w, p);
+    w.endArray();
+    w.endObject();
+    return w.writeFile(path);
 }
 
 } // namespace
@@ -541,14 +592,18 @@ main(int argc, char **argv)
 {
     bool smoke = false;
     std::string out = "BENCH_serve.json";
+    std::string trace_path;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
         } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
             out = argv[++i];
+        } else if (std::strcmp(argv[i], "--trace") == 0
+                   && i + 1 < argc) {
+            trace_path = argv[++i];
         } else {
-            std::fprintf(stderr,
-                         "usage: serve_report [--smoke] [--out path]\n");
+            std::fprintf(stderr, "usage: serve_report [--smoke] "
+                                 "[--out path] [--trace path]\n");
             return 2;
         }
     }
@@ -576,8 +631,12 @@ main(int argc, char **argv)
     }
     table.print();
 
-    // The memory-control-plane overload point.
-    const Point ovl = runOverloadPoint(smoke);
+    // The memory-control-plane overload point — the one run that gets
+    // full telemetry: tracing is optional observability, so it is only
+    // installed when the caller asked for a trace file.
+    obs::Telemetry tele;
+    const Point ovl =
+        runOverloadPoint(smoke, trace_path.empty() ? nullptr : &tele);
     uint64_t ovl_peak = 0;
     for (const TenantMem &tm : ovl.tenant_mem)
         ovl_peak = std::max(ovl_peak, tm.hbm_peak_bytes);
@@ -736,6 +795,29 @@ main(int argc, char **argv)
                 return false;
         return true;
     }());
+    bench::shapeCheck("overload attribution covers every tenant",
+                      ovl.attribution.size() == ovl.tenants);
+    bench::shapeCheck("attribution components sum to measured latency",
+                      [&] {
+                          for (const TenantAttr &ta : ovl.attribution) {
+                              double sum = 0;
+                              for (uint32_t c = 0;
+                                   c < serve::kStallCauses; ++c)
+                                  sum += ta.comp_ns[c];
+                              if (std::fabs(sum - ta.total_latency_ns)
+                                  > 1e-6
+                                        * std::max(
+                                            1.0, ta.total_latency_ns))
+                                  return false;
+                          }
+                          return true;
+                      }());
+    bench::shapeCheck("latency histogram counts every window", [&] {
+        uint64_t hist_windows = 0;
+        for (uint64_t c : ovl.latency_hist.counts)
+            hist_windows += c;
+        return hist_windows == ovl.windows;
+    }());
     bench::shapeCheck("checkpoints bound the replay", [&] {
         // Scratch-restart (period 0) replays the whole consumed
         // prefix; any checkpoint cadence must replay strictly less.
@@ -757,5 +839,17 @@ main(int argc, char **argv)
     }
     std::printf("serve_report: wrote %s (%zu points, %zu shard points)\n",
                 out.c_str(), points.size(), shard_points.size());
+
+    if (!trace_path.empty()) {
+        obs::JsonWriter tw;
+        tele.trace.exportJson(tw);
+        if (!tw.writeFile(trace_path)) {
+            std::fprintf(stderr, "serve_report: cannot write %s\n",
+                         trace_path.c_str());
+            return 1;
+        }
+        std::printf("serve_report: wrote %s (%zu trace events)\n",
+                    trace_path.c_str(), tele.trace.size());
+    }
     return 0;
 }

@@ -59,7 +59,17 @@ class Bundle
      * Drop one reference; destroys the bundle (and frees its DRAM)
      * when this was the last one.
      * @return true when the bundle was destroyed.
+     *
+     * GCC's -Wuse-after-free cannot see that the refcount guards the
+     * delete when two release() calls on the same bundle are inlined
+     * into one caller (the retain-protected first call looks like it
+     * frees the pointer the second call reads), so the false positive
+     * is suppressed here.
      */
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuse-after-free"
+#endif
     bool
     release()
     {
@@ -69,6 +79,9 @@ class Bundle
         delete this;
         return true;
     }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
     uint32_t refcount() const { return refcount_; }
     uint64_t id() const { return id_; }

@@ -119,6 +119,29 @@ class SampleSet
 
     const std::vector<double> &samples() const { return samples_; }
 
+    /**
+     * Bucket the samples against ascending upper bounds: result[i]
+     * counts samples v with buckets[i-1] < v <= buckets[i] (the first
+     * bucket has no lower bound), and one extra overflow slot at the
+     * end counts samples above the last bound. Bucket-edge values
+     * land in the bucket they bound (v == buckets[i] counts in i).
+     */
+    std::vector<uint64_t>
+    histogram(const std::vector<double> &buckets) const
+    {
+        for (size_t i = 1; i < buckets.size(); ++i)
+            sbhbm_assert(buckets[i - 1] < buckets[i],
+                         "histogram buckets must strictly increase");
+        std::vector<uint64_t> counts(buckets.size() + 1, 0);
+        for (double v : samples_) {
+            size_t i = 0;
+            while (i < buckets.size() && v > buckets[i])
+                ++i;
+            ++counts[i];
+        }
+        return counts;
+    }
+
     void
     clear()
     {

@@ -196,6 +196,8 @@ class Source
         paused_ = false;
         if (parked_) {
             parked_ = false;
+            ingest_wait_ns_ +=
+                eng_.machine().now() - parked_since_;
             if (!halted_)
                 scheduleNext();
         }
@@ -291,6 +293,14 @@ class Source
     /** Simulated time at which the final watermark was delivered. */
     SimTime finishedAt() const { return finished_at_; }
 
+    /**
+     * Cumulative virtual ns this source spent not delivering for
+     * reasons outside the pipeline's compute: injected stalls,
+     * back-pressure episodes, and checkpoint-quiesce pauses. The
+     * ingest-wait component of SLA attribution.
+     */
+    uint64_t ingestWaitNs() const { return ingest_wait_ns_; }
+
     /** Callback invoked once all records (and the final wm) are in. */
     void onFinished(std::function<void()> fn) { on_finished_ = std::move(fn); }
 
@@ -313,6 +323,7 @@ class Source
             return;
         if (paused_) {
             parked_ = true;
+            parked_since_ = eng_.machine().now();
             return;
         }
         if (consumed() >= cfg_.total_records) {
@@ -327,7 +338,16 @@ class Source
         // deadline. Watermarks may still advance over the gap (no
         // data can arrive before what was already sent).
         if (stalled_until_ > eng_.machine().now()) {
+            const SimTime now = eng_.machine().now();
             const SimTime until = stalled_until_;
+            // Re-entry at the deadline only adds later extensions, so
+            // an extended stall never double-counts.
+            ingest_wait_ns_ += until - now;
+            if (obs::Telemetry *t = eng_.telemetry()) {
+                t->trace.instant(now, eng_.telemetryShard(), stream_,
+                                 "ingest", "ingest_stall",
+                                 {{"until_us", until / 1000}});
+            }
             advanceIdleWatermark();
             eng_.machine().at(until, [this] { scheduleNext(); });
             return;
@@ -349,8 +369,14 @@ class Source
             // (every held bundle waits on a watermark only we can
             // emit) — a configuration error, not a transient.
             const SimTime now = eng_.machine().now();
-            if (backpressured_since_ == 0)
+            if (backpressured_since_ == 0) {
                 backpressured_since_ = now;
+                if (obs::Telemetry *t = eng_.telemetry()) {
+                    t->trace.instant(now, eng_.telemetryShard(),
+                                     stream_, "ingest",
+                                     "backpressure");
+                }
+            }
             const SimTime limit =
                 std::max<SimTime>(100 * pipe_.windows().width,
                                   10 * kNsPerSec);
@@ -391,7 +417,11 @@ class Source
             eng_.machine().after(kNsPerMs, [this] { scheduleNext(); });
             return;
         }
-        backpressured_since_ = 0;
+        if (backpressured_since_ != 0) {
+            ingest_wait_ns_ +=
+                eng_.machine().now() - backpressured_since_;
+            backpressured_since_ = 0;
+        }
 
         const auto n = static_cast<uint32_t>(
             std::min<uint64_t>(cfg_.bundle_records,
@@ -663,6 +693,8 @@ class Source
     SimTime finished_at_ = 0;
     SimTime last_delivery_ = 0;
     SimTime backpressured_since_ = 0;
+    SimTime parked_since_ = 0;
+    uint64_t ingest_wait_ns_ = 0;
     EventTime emitted_wm_ = 0;
     struct Ready
     {

@@ -171,6 +171,7 @@ class PressureDirector
                 StreamStats &ss = by_stream_[p->providerStream()];
                 ss.charged_bytes += r.charged_bytes;
                 ss.kpas += r.kpas;
+                last_sweep_[p->providerStream()] += r.charged_bytes;
             }
         }
         // Demotion alone could not relieve the breach: escalate to
@@ -206,6 +207,8 @@ class PressureDirector
                 exhausted, to, want - total.charged_bytes, log);
             total.charged_bytes += r.charged_bytes;
             total.kpas += r.kpas;
+            if (r.kpas > 0)
+                last_sweep_[p->providerStream()] += r.charged_bytes;
         }
         emergency_bytes_ += total.charged_bytes;
         emergency_kpas_ += total.kpas;
@@ -259,6 +262,51 @@ class PressureDirector
 
     size_t providerCount() const { return providers_.size(); }
 
+    // ---------------------------------------------------------------
+    // Sweep stall attribution. A sweep's migration traffic runs
+    // DMA-style in virtual time; the streams whose state moved see
+    // that as memory stall. The sweep caller (monitor tick, engine
+    // exhaustion handler) takes the per-stream byte shares recorded
+    // by the last sweep, then — once the machine finishes charging
+    // the copy — hands the measured duration back to be split across
+    // those streams proportionally to bytes moved.
+    // ---------------------------------------------------------------
+
+    /** Per-stream gauge bytes moved by the last sweep (then reset). */
+    std::map<uint32_t, uint64_t>
+    takeLastSweepShares()
+    {
+        std::map<uint32_t, uint64_t> out;
+        out.swap(last_sweep_);
+        return out;
+    }
+
+    /** Split @p ns of sweep stall across @p shares by byte weight. */
+    void
+    addSweepStallNs(const std::map<uint32_t, uint64_t> &shares,
+                    uint64_t ns)
+    {
+        uint64_t total = 0;
+        for (const auto &[stream, bytes] : shares)
+            total += bytes;
+        if (total == 0)
+            return;
+        for (const auto &[stream, bytes] : shares) {
+            stall_ns_by_stream_[stream] +=
+                static_cast<uint64_t>(static_cast<double>(ns)
+                                      * static_cast<double>(bytes)
+                                      / static_cast<double>(total));
+        }
+    }
+
+    /** Cumulative sweep-stall ns attributed to @p stream. */
+    uint64_t
+    sweepStallNs(uint32_t stream) const
+    {
+        auto it = stall_ns_by_stream_.find(stream);
+        return it == stall_ns_by_stream_.end() ? 0 : it->second;
+    }
+
   private:
     struct StreamStats
     {
@@ -278,6 +326,8 @@ class PressureDirector
     uint64_t emergency_bytes_ = 0;
     uint64_t emergency_kpas_ = 0;
     std::map<uint32_t, StreamStats> by_stream_;
+    std::map<uint32_t, uint64_t> last_sweep_;
+    std::map<uint32_t, uint64_t> stall_ns_by_stream_;
 };
 
 } // namespace sbhbm::mem

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * A small streaming JSON writer: the one escaping / comma-placement /
+ * number-formatting implementation shared by every JSON emitter in
+ * the tree — the bench reports (bench_util.h, serve_report) and the
+ * trace exporter (obs/trace.h).
+ *
+ * Output is built into a std::string so callers can compare documents
+ * in memory (the trace-determinism tests diff whole exports byte for
+ * byte) before deciding to write a file. Formatting is fully
+ * deterministic: doubles always go through an explicit fixed
+ * precision, never locale- or shortest-round-trip-dependent paths.
+ */
+
+#ifndef SBHBM_OBS_JSON_WRITER_H
+#define SBHBM_OBS_JSON_WRITER_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sbhbm::obs {
+
+/**
+ * Structured JSON emission with automatic commas and (optional)
+ * two-space pretty indentation. Usage mirrors the document:
+ *
+ *   JsonWriter w;
+ *   w.beginObject();
+ *   w.key("schema").value("v1");
+ *   w.key("points").beginArray();
+ *   w.value(uint64_t{3});
+ *   w.endArray();
+ *   w.endObject();
+ *   w.writeFile("out.json");
+ *
+ * The writer does not validate grammar beyond container balance; it
+ * trusts callers to alternate key()/value() correctly inside objects.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(bool pretty = true) : pretty_(pretty) {}
+
+    JsonWriter &
+    beginObject()
+    {
+        open('{');
+        return *this;
+    }
+
+    JsonWriter &
+    endObject()
+    {
+        close('}');
+        return *this;
+    }
+
+    JsonWriter &
+    beginArray()
+    {
+        open('[');
+        return *this;
+    }
+
+    JsonWriter &
+    endArray()
+    {
+        close(']');
+        return *this;
+    }
+
+    JsonWriter &
+    key(std::string_view k)
+    {
+        separate();
+        quoted(k);
+        out_ += pretty_ ? ": " : ":";
+        pending_value_ = true;
+        return *this;
+    }
+
+    JsonWriter &
+    value(std::string_view v)
+    {
+        separate();
+        quoted(v);
+        return *this;
+    }
+
+    JsonWriter &
+    value(const char *v)
+    {
+        return value(std::string_view(v));
+    }
+
+    JsonWriter &
+    value(bool v)
+    {
+        separate();
+        out_ += v ? "true" : "false";
+        return *this;
+    }
+
+    JsonWriter &
+    value(uint64_t v)
+    {
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(v));
+        return rawValue(buf);
+    }
+
+    JsonWriter &
+    value(int64_t v)
+    {
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+        return rawValue(buf);
+    }
+
+    JsonWriter &
+    value(unsigned v)
+    {
+        return value(uint64_t{v});
+    }
+
+    JsonWriter &
+    value(int v)
+    {
+        return value(int64_t{v});
+    }
+
+    /** Fixed-precision double: precision is explicit at every call
+     *  site so numeric output never depends on a default. */
+    JsonWriter &
+    value(double v, int prec)
+    {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+        return rawValue(buf);
+    }
+
+    /** Emit @p text verbatim as a value (pre-formatted numbers). */
+    JsonWriter &
+    rawValue(std::string_view text)
+    {
+        separate();
+        out_ += text;
+        return *this;
+    }
+
+    /** The document built so far. */
+    const std::string &str() const { return out_; }
+
+    bool
+    writeTo(std::FILE *f) const
+    {
+        return std::fwrite(out_.data(), 1, out_.size(), f)
+               == out_.size();
+    }
+
+    /** @return true when the file was written successfully. */
+    bool
+    writeFile(const std::string &path) const
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (f == nullptr)
+            return false;
+        const bool ok = writeTo(f) && std::fputc('\n', f) != EOF;
+        return (std::fclose(f) == 0) && ok;
+    }
+
+  private:
+    struct Frame
+    {
+        bool first = true;
+    };
+
+    /** Comma + newline-indent before the next element, unless it is
+     *  the value half of a key()/value() pair. */
+    void
+    separate()
+    {
+        if (pending_value_) {
+            pending_value_ = false;
+            return;
+        }
+        if (stack_.empty())
+            return;
+        if (!stack_.back().first)
+            out_ += ',';
+        stack_.back().first = false;
+        if (pretty_) {
+            out_ += '\n';
+            out_.append(stack_.size() * 2, ' ');
+        }
+    }
+
+    void
+    open(char c)
+    {
+        separate();
+        out_ += c;
+        stack_.push_back(Frame{});
+    }
+
+    void
+    close(char c)
+    {
+        const bool empty = stack_.back().first;
+        stack_.pop_back();
+        if (pretty_ && !empty) {
+            out_ += '\n';
+            out_.append(stack_.size() * 2, ' ');
+        }
+        out_ += c;
+    }
+
+    void
+    quoted(std::string_view s)
+    {
+        out_ += '"';
+        for (char c : s) {
+            switch (c) {
+              case '"':
+                out_ += "\\\"";
+                break;
+              case '\\':
+                out_ += "\\\\";
+                break;
+              case '\n':
+                out_ += "\\n";
+                break;
+              case '\r':
+                out_ += "\\r";
+                break;
+              case '\t':
+                out_ += "\\t";
+                break;
+              case '\b':
+                out_ += "\\b";
+                break;
+              case '\f':
+                out_ += "\\f";
+                break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned>(
+                                      static_cast<unsigned char>(c)));
+                    out_ += buf;
+                } else {
+                    out_ += c;
+                }
+            }
+        }
+        out_ += '"';
+    }
+
+    bool pretty_;
+    bool pending_value_ = false;
+    std::string out_;
+    std::vector<Frame> stack_;
+};
+
+} // namespace sbhbm::obs
+
+#endif // SBHBM_OBS_JSON_WRITER_H

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * The metrics half of the telemetry plane: a registry of counters,
+ * gauges and fixed-bucket histograms under hierarchical slash-joined
+ * names ("shard/2/tenant/7/ingest_wait_ns").
+ *
+ * Handles are plain references into node-stable containers: a caller
+ * resolves a name once (a map lookup, off the hot path) and then
+ * bumps the handle with a single add — no lookup, no allocation, no
+ * branch beyond the telemetry-installed null check the caller already
+ * made. With no Telemetry installed nothing here runs at all, which
+ * is what keeps the disabled cost near zero and all pinned goldens
+ * bit-identical.
+ *
+ * Export iterates std::map in key order, so a registry filled by a
+ * deterministic run serializes byte-identically every time.
+ */
+
+#ifndef SBHBM_OBS_METRICS_H
+#define SBHBM_OBS_METRICS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "obs/json_writer.h"
+
+namespace sbhbm::obs {
+
+/** Monotonic event count. */
+struct Counter
+{
+    uint64_t value = 0;
+
+    void add(uint64_t n = 1) { value += n; }
+};
+
+/** Point-in-time level (set, not accumulated). */
+struct Gauge
+{
+    double value = 0;
+
+    void set(double v) { value = v; }
+    void add(double d) { value += d; }
+};
+
+/**
+ * Fixed-bucket histogram: counts per upper-bound bucket plus an
+ * overflow bucket, with the running sum for mean recovery. Bounds are
+ * fixed at registration — observation is a linear scan over a handful
+ * of doubles, deterministic and allocation-free.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<double> bounds)
+        : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0)
+    {
+        for (size_t i = 1; i < bounds_.size(); ++i)
+            sbhbm_assert(bounds_[i - 1] < bounds_[i],
+                         "histogram bounds must strictly increase");
+    }
+
+    void
+    observe(double v)
+    {
+        size_t i = 0;
+        while (i < bounds_.size() && v > bounds_[i])
+            ++i;
+        ++counts_[i];
+        ++count_;
+        sum_ += v;
+    }
+
+    const std::vector<double> &bounds() const { return bounds_; }
+
+    /** Per-bucket counts; the final entry is the overflow bucket. */
+    const std::vector<uint64_t> &counts() const { return counts_; }
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<uint64_t> counts_;
+    uint64_t count_ = 0;
+    double sum_ = 0;
+};
+
+/**
+ * The registry: name → metric, one namespace per metric kind.
+ * std::map keeps node addresses stable (handles survive later
+ * registrations) and iterates in name order (deterministic export).
+ */
+class MetricsRegistry
+{
+  public:
+    /** Resolve (or create) the counter named @p name. */
+    Counter &counter(const std::string &name)
+    {
+        return counters_[name];
+    }
+
+    /** Resolve (or create) the gauge named @p name. */
+    Gauge &gauge(const std::string &name) { return gauges_[name]; }
+
+    /**
+     * Resolve (or create) the histogram named @p name; @p bounds are
+     * only used on first registration (re-resolving an existing
+     * histogram keeps its original buckets).
+     */
+    Histogram &
+    histogram(const std::string &name, std::vector<double> bounds)
+    {
+        auto it = hists_.find(name);
+        if (it == hists_.end()) {
+            it = hists_
+                     .emplace(name, Histogram(std::move(bounds)))
+                     .first;
+        }
+        return it->second;
+    }
+
+    /** Join hierarchical name parts with '/'. */
+    static std::string
+    path(std::initializer_list<std::string> parts)
+    {
+        std::string out;
+        for (const std::string &p : parts) {
+            if (!out.empty())
+                out += '/';
+            out += p;
+        }
+        return out;
+    }
+
+    size_t
+    size() const
+    {
+        return counters_.size() + gauges_.size() + hists_.size();
+    }
+
+    /** Serialize every metric, name-sorted within its kind. */
+    void
+    writeJson(JsonWriter &w) const
+    {
+        w.beginObject();
+        w.key("counters").beginObject();
+        for (const auto &[name, c] : counters_)
+            w.key(name).value(c.value);
+        w.endObject();
+        w.key("gauges").beginObject();
+        for (const auto &[name, g] : gauges_)
+            w.key(name).value(g.value, 6);
+        w.endObject();
+        w.key("histograms").beginObject();
+        for (const auto &[name, h] : hists_) {
+            w.key(name).beginObject();
+            w.key("bounds").beginArray();
+            for (double b : h.bounds())
+                w.value(b, 6);
+            w.endArray();
+            w.key("counts").beginArray();
+            for (uint64_t c : h.counts())
+                w.value(c);
+            w.endArray();
+            w.key("count").value(h.count());
+            w.key("sum").value(h.sum(), 6);
+            w.endObject();
+        }
+        w.endObject();
+        w.endObject();
+    }
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Gauge> gauges_;
+    std::map<std::string, Histogram> hists_;
+};
+
+} // namespace sbhbm::obs
+
+#endif // SBHBM_OBS_METRICS_H

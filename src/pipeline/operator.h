@@ -260,7 +260,10 @@ class Operator : public mem::ColdStateProvider
                 outstanding_.erase(id);
                 flushWatermarks();
             },
-            pipe_.streamId());
+            pipe_.streamId(),
+            // The operator outlives its tasks (the done hook above
+            // references it), so its name can label their spans.
+            name_.c_str());
     }
 
     /** Immediately forward a message downstream (completion context). */

@@ -27,6 +27,7 @@
 #include "mem/hybrid_memory.h"
 #include "mem/placement_policy.h"
 #include "mem/pressure_director.h"
+#include "obs/trace.h"
 #include "runtime/balance_knob.h"
 #include "runtime/executor.h"
 #include "runtime/impact_tag.h"
@@ -114,6 +115,28 @@ class Engine
     bool useKpa() const { return cfg_.use_kpa; }
 
     /**
+     * Install the telemetry plane on this engine and its executor and
+     * monitor. @p shard labels every event this engine records (the
+     * trace's pid track). Null uninstalls; the default — no telemetry
+     * — keeps every hot path at a single pointer null check and the
+     * simulation bit-identical to the uninstrumented build.
+     */
+    void
+    setTelemetry(obs::Telemetry *t, uint32_t shard = 0)
+    {
+        tele_ = t;
+        tele_shard_ = shard;
+        exec_.setTelemetry(t, shard);
+        monitor_.setTelemetry(t, shard);
+    }
+
+    /** The installed telemetry plane (null = disabled). */
+    obs::Telemetry *telemetry() const { return tele_; }
+
+    /** Shard id stamped on this engine's trace events. */
+    uint32_t telemetryShard() const { return tele_shard_; }
+
+    /**
      * Decide the placement of a new KPA for a task tagged @p tag on
      * @p stream, by consulting the installed PlacementPolicy. The
      * default KnobPlacementPolicy is the paper's "single control
@@ -185,7 +208,27 @@ class Engine
                 director_.emergencySweep(t, want, relief);
             if (r.kpas == 0)
                 return false;
-            machine_.execute(std::move(relief), [] {});
+            // Like the monitor's steady-state sweep: attribute the
+            // copy time as memory stall to the streams whose state
+            // moved, and record the emergency span.
+            const SimTime t0 = machine_.now();
+            auto shares = director_.takeLastSweepShares();
+            const uint64_t kpas = r.kpas;
+            machine_.execute(
+                std::move(relief),
+                [this, t0, kpas, shares = std::move(shares)] {
+                    const SimTime dur = machine_.now() - t0;
+                    director_.addSweepStallNs(shares, dur);
+                    if (tele_ != nullptr) {
+                        uint64_t bytes = 0;
+                        for (const auto &[stream, b] : shares)
+                            bytes += b;
+                        tele_->trace.span(t0, dur, tele_shard_, 0,
+                                          "pressure", "emergency_sweep",
+                                          {{"charged_bytes", bytes},
+                                           {"kpas", kpas}});
+                    }
+                });
             return true;
         });
     }
@@ -348,6 +391,8 @@ class Engine
     mem::PlacementPolicy *placement_policy_ = &knob_policy_;
     mem::PressureDirector director_;
     ResourceMonitor monitor_;
+    obs::Telemetry *tele_ = nullptr;
+    uint32_t tele_shard_ = 0;
     SampleSet delays_;
     SimTime last_delay_ = 0;
     SimTime distress_window_ = 100 * kNsPerMs;

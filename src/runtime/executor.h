@@ -41,6 +41,7 @@
 #include "common/unique_function.h"
 #include "common/worker_pool.h"
 #include "mem/hybrid_memory.h"
+#include "obs/trace.h"
 #include "runtime/impact_tag.h"
 #include "sim/cost_model.h"
 #include "sim/machine.h"
@@ -147,6 +148,10 @@ class Executor
         double cpu_ns = 0;       //!< total charged CPU ns
         uint64_t hbm_bytes = 0;  //!< total charged HBM traffic
         uint64_t dram_bytes = 0; //!< total charged DRAM traffic
+
+        /** Virtual ns the stream's tasks sat queued before dispatch
+         *  (the sched-queue component of SLA attribution). */
+        uint64_t queue_wait_ns = 0;
     };
 
     /**
@@ -176,13 +181,33 @@ class Executor
         policy_ = policy;
     }
 
-    /** Enqueue a task; @p done (optional) fires on completion. */
+    /**
+     * Install telemetry (non-owning; nullptr disables). @p shard is
+     * the trace pid this executor's task spans land on. Spans are
+     * recorded only from machine completion callbacks — the
+     * single-threaded simulation control path — so traces are
+     * byte-identical at any host thread count.
+     */
+    void
+    setTelemetry(obs::Telemetry *t, uint32_t shard)
+    {
+        tele_ = t;
+        shard_ = shard;
+    }
+
+    /**
+     * Enqueue a task; @p done (optional) fires on completion.
+     * @p label (a string literal or a name outliving the task, e.g.
+     * the spawning operator's) names the task's trace span when
+     * telemetry is installed.
+     */
     void
     spawn(ImpactTag tag, TaskFn fn, DoneFn done = nullptr,
-          StreamId stream = 0)
+          StreamId stream = 0, const char *label = nullptr)
     {
         queues_[stream][static_cast<int>(tag)].push_back(
-            Pending{std::move(fn), std::move(done), next_seq_++});
+            Pending{std::move(fn), std::move(done), next_seq_++,
+                    machine_.now(), label});
         ++queued_;
         ++spawned_;
         ++stats_[stream].spawned;
@@ -206,7 +231,8 @@ class Executor
     void
     parallelFor(ImpactTag tag, uint32_t n,
                 std::function<void(uint32_t, sim::CostLog &)> fn,
-                DoneFn all_done, StreamId stream = 0)
+                DoneFn all_done, StreamId stream = 0,
+                const char *label = nullptr)
     {
         auto done = std::make_shared<DoneFn>(std::move(all_done));
         if (n == 0) {
@@ -225,7 +251,7 @@ class Executor
                     if (--*remaining == 0 && *done)
                         (*done)();
                 },
-                stream);
+                stream, label);
         }
     }
 
@@ -306,6 +332,8 @@ class Executor
         TaskFn fn;
         DoneFn done;
         StreamId stream = 0;
+        SimTime enq = 0;
+        const char *label = nullptr;
     };
 
     /**
@@ -338,6 +366,8 @@ class Executor
         out.fn = std::move(q.front().fn);
         out.done = std::move(q.front().done);
         out.stream = best_it->first;
+        out.enq = q.front().enq;
+        out.label = q.front().label;
         q.pop_front();
         --queued_;
         bool empty = true;
@@ -368,10 +398,12 @@ class Executor
         ++busy_;
         ++stolen_in_;
 
+        const SimTime t0 = machine_.now();
         sim::CostLog cost;
         cost.cpu(sim::cost::kTaskDispatchNs);
         auto keep = std::make_shared<TaskFn>(std::move(task.fn));
         StreamStats &ss = home.stats_[task.stream];
+        ss.queue_wait_ns += t0 - task.enq;
         try {
             (*keep)(cost);
         } catch (const mem::AllocFailure &) {
@@ -386,9 +418,18 @@ class Executor
         auto done = std::make_shared<DoneFn>(std::move(task.done));
         machine_.execute(
             std::move(cost),
-            [this, &home, stream = task.stream, done, keep] {
+            [this, &home, stream = task.stream, done, keep, t0,
+             label = task.label] {
                 keep->reset();
                 --busy_;
+                if (tele_ != nullptr) {
+                    // The span sits on the thief's lane (it ran
+                    // here), named for the home stream it served.
+                    tele_->trace.span(t0, machine_.now() - t0, shard_,
+                                      stream, "steal",
+                                      label != nullptr ? label
+                                                       : "stolen_task");
+                }
                 // Completion bookkeeping belongs to the home shard:
                 // it touches home pipelines (watermarks,
                 // back-pressure) and must run in home-machine
@@ -486,6 +527,8 @@ class Executor
         TaskFn fn;
         DoneFn done;
         uint64_t seq = 0;
+        SimTime enq = 0; //!< spawn instant (queue-wait accounting)
+        const char *label = nullptr;
     };
 
     using TagQueues = std::array<std::deque<Pending>, kNumTags>;
@@ -502,6 +545,8 @@ class Executor
             const StreamId stream = popNext(task);
             ++busy_;
 
+            const SimTime t0 = machine_.now();
+            stats_[stream].queue_wait_ns += t0 - task.enq;
             sim::CostLog cost;
             cost.cpu(sim::cost::kTaskDispatchNs);
             // Functional execution happens now, but the closure (and
@@ -529,11 +574,18 @@ class Executor
             // move-only hooks ride in shared_ptrs.
             auto done = std::make_shared<DoneFn>(std::move(task.done));
             machine_.execute(std::move(cost),
-                             [this, stream, done, keep] {
+                             [this, stream, done, keep, t0,
+                              label = task.label] {
                 keep->reset();
                 --busy_;
                 ++completed_;
                 ++stats_[stream].completed;
+                if (tele_ != nullptr) {
+                    tele_->trace.span(t0, machine_.now() - t0, shard_,
+                                      stream, "task",
+                                      label != nullptr ? label
+                                                       : "task");
+                }
                 if (*done)
                     (*done)();
                 pump();
@@ -628,6 +680,8 @@ class Executor
     std::vector<DispatchPolicy::StreamBacklog> backlog_;
     unsigned host_threads_ = 0; //!< 0 = WorkerPool::defaultThreads()
     std::unique_ptr<WorkerPool> host_pool_;
+    obs::Telemetry *tele_ = nullptr;
+    uint32_t shard_ = 0;
 };
 
 } // namespace sbhbm::runtime

@@ -19,6 +19,7 @@
 #include "common/units.h"
 #include "mem/hybrid_memory.h"
 #include "mem/pressure_director.h"
+#include "obs/trace.h"
 #include "runtime/balance_knob.h"
 #include "sim/machine.h"
 
@@ -80,6 +81,14 @@ class ResourceMonitor
     /** Stop sampling after the next tick. */
     void stop() { running_ = false; }
 
+    /** Install the telemetry plane (null disables recording). */
+    void
+    setTelemetry(obs::Telemetry *t, uint32_t shard)
+    {
+        tele_ = t;
+        shard_ = shard;
+    }
+
     bool running() const { return running_; }
 
     const std::vector<ResourceSample> &samples() const { return samples_; }
@@ -126,8 +135,30 @@ class ResourceMonitor
         // without occupying a core slot (DMA-style copy).
         if (director_ != nullptr) {
             sim::CostLog migration = director_->tick();
-            if (!migration.empty())
-                machine_.execute(std::move(migration), [] {});
+            if (!migration.empty()) {
+                // The sweep's copy time is memory stall for the
+                // streams whose state moved: split the measured
+                // duration by byte share once the charge completes
+                // (single-threaded control path — trace-safe).
+                const SimTime t0 = machine_.now();
+                auto shares = director_->takeLastSweepShares();
+                machine_.execute(
+                    std::move(migration),
+                    [this, t0, shares = std::move(shares)] {
+                        const SimTime dur = machine_.now() - t0;
+                        director_->addSweepStallNs(shares, dur);
+                        if (tele_ != nullptr) {
+                            uint64_t bytes = 0;
+                            for (const auto &[stream, b] : shares)
+                                bytes += b;
+                            tele_->trace.span(
+                                t0, dur, shard_, 0, "pressure",
+                                "pressure_sweep",
+                                {{"charged_bytes", bytes},
+                                 {"streams", shares.size()}});
+                        }
+                    });
+            }
             s.demoted_bytes = director_->demotedBytes();
         }
 
@@ -148,6 +179,8 @@ class ResourceMonitor
     HeadroomFn headroom_;
     SimTime period_;
     mem::PressureDirector *director_;
+    obs::Telemetry *tele_ = nullptr;
+    uint32_t shard_ = 0;
     bool running_ = false;
 
     SimTime last_t_ = 0;

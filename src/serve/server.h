@@ -59,6 +59,7 @@
 #include <algorithm>
 #include <cstdarg>
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
@@ -68,6 +69,7 @@
 #include "common/logging.h"
 #include "common/stats.h"
 #include "common/units.h"
+#include "obs/trace.h"
 #include "runtime/engine.h"
 #include "serve/checkpoint.h"
 #include "serve/fair_scheduler.h"
@@ -190,6 +192,15 @@ struct ServeConfig
 
     /** Fault injection, checkpointing and failover. */
     FaultToleranceConfig fault;
+
+    /**
+     * The telemetry plane (caller-owned; must outlive the server).
+     * Installing one threads the metrics registry and trace sink
+     * through every shard engine, executor, monitor and the fault /
+     * recovery path. Null (the default) disables all recording and
+     * keeps every output bit-identical to the uninstrumented build.
+     */
+    obs::Telemetry *telemetry = nullptr;
 };
 
 /** What one session did, filled when it drains. */
@@ -282,6 +293,18 @@ struct TenantReport
     /** Rejected-arrival retries consumed. */
     uint32_t admission_retries = 0;
 
+    // SLA breach attribution (ns, indexed by StallCause).
+
+    /** Total per-window latency decomposed by cause; the five
+     *  components sum exactly to the measured watermark latency. */
+    double attribution_ns[kStallCauses] = {};
+
+    /** The same decomposition over SLA-violating windows only. */
+    double breach_attribution_ns[kStallCauses] = {};
+
+    /** What mostly made the violating windows late. */
+    StallCause dominant_cause = StallCause::kCompute;
+
     /**
      * Exactly-once delivered output per window: result-record counts
      * and order-insensitive content checksums, merged across
@@ -316,6 +339,8 @@ class Server
                     std::max(1u, ec.host_threads / cfg_.shards);
             shards_.push_back(std::make_unique<EngineShard>(ec));
             EngineShard &sh = *shards_.back();
+            if (cfg_.telemetry != nullptr)
+                sh.eng->setTelemetry(cfg_.telemetry, s);
             if (cfg_.fair_share)
                 sh.eng->exec().setDispatchPolicy(&sh.sched);
             if (cfg_.admission.mode == AdmissionMode::kLivePressure) {
@@ -409,7 +434,8 @@ class Server
             // syncTo any shard before acting on it.
             injector_ = std::make_unique<sim::FaultInjector>(
                 shards_[0]->eng->machine(), cfg_.fault.plan,
-                [this](const sim::FaultEvent &e) { onFault(e); });
+                [this](const sim::FaultEvent &e) { onFault(e); },
+                &recoverySink());
             injector_->arm();
         }
         runFleet();
@@ -502,11 +528,20 @@ class Server
      * The recovery trace: one line per fault fired, crash processed,
      * session recovered or lost — in virtual-time order. Two runs of
      * the same configuration and fault plan produce identical traces;
-     * tests fingerprint reproducibility on it.
+     * tests fingerprint reproducibility on it. A thin view over the
+     * trace sink's "recovery" instants (the sink is the single record
+     * of truth); line formats are unchanged from when this was its
+     * own vector.
      */
-    const std::vector<std::string> &recoveryTrace() const
+    const std::vector<std::string> &
+    recoveryTrace() const
     {
-        return trace_;
+        trace_view_.clear();
+        for (const obs::TraceEvent &e : recoverySink().events()) {
+            if (std::strcmp(e.cat, "recovery") == 0)
+                trace_view_.push_back(e.name);
+        }
+        return trace_view_;
     }
 
   private:
@@ -541,6 +576,8 @@ class Server
         uint64_t demoted_kpas = 0;
         uint64_t demoted_bytes = 0;
         uint64_t shed_tasks = 0;
+        uint64_t queue_wait_ns = 0;
+        uint64_t sweep_stall_ns = 0;
     };
 
     /** A crashed session waiting for a live shard to restart on. */
@@ -592,6 +629,19 @@ class Server
         const Admission a = registry_.offer(spec);
         TenantReport &rep = reports_[spec.id];
         rep.admission = a;
+        if (obs::Telemetry *tp = cfg_.telemetry) {
+            const char *verdict = a == Admission::kAdmitted ? "admit"
+                                  : a == Admission::kQueued ? "queue"
+                                                            : "reject";
+            const uint32_t shard = a == Admission::kAdmitted
+                                       ? registry_.shardOf(spec.id)
+                                       : 0;
+            tp->trace.instant(
+                shards_[0]->eng->machine().now(), shard, spec.id,
+                "admission", verdict,
+                {{"hbm_reserve", spec.hbm_reserve_bytes},
+                 {"retry", rep.admission_retries}});
+        }
         switch (a) {
           case Admission::kAdmitted:
             start(registry_.shardOf(spec.id), spec,
@@ -638,6 +688,8 @@ class Server
         base.demoted_kpas = sh.eng->director().demotedKpas(id);
         base.demoted_bytes = sh.eng->director().demotedBytes(id);
         base.shed_tasks = ss.shed;
+        base.queue_wait_ns = ss.queue_wait_ns;
+        base.sweep_stall_ns = sh.eng->director().sweepStallNs(id);
         seg_base_[id] = base;
         reports_[id].shard = s;
     }
@@ -656,6 +708,10 @@ class Server
         if (cfg_.fair_share)
             sh.sched.setWeight(spec.id, spec.weight);
         t.start();
+        // The shard's cumulative stall counters may carry history
+        // (earlier segments, other incarnations): attribution for
+        // this segment measures growth from here.
+        t.sla().primeStalls(t.stallSnapshot());
         sh.eng->machine().after(kNsPerMs,
                                 [this, s, id = spec.id] { poll(s, id); });
         if (cfg_.fault.enabled && cfg_.fault.checkpoint_period > 0
@@ -754,7 +810,7 @@ class Server
         if (it == sh.tenants.end())
             return; // session crashed off this shard mid-poll
         Tenant &t = *it->second;
-        t.sla().observe(t.pipe());
+        t.sla().observe(t.pipe(), t.stallSnapshot());
         if (cfg_.fault.enabled && cfg_.fault.distress_shedding) {
             // SLA-aware shedding under allocation distress: sessions
             // with latency headroom go lossy so breaching ones keep
@@ -802,7 +858,7 @@ class Server
                columnar::WindowId commit_before = kAllWindows)
     {
         EngineShard &sh = *shards_[s];
-        t.sla().observe(t.pipe());
+        t.sla().observe(t.pipe(), t.stallSnapshot());
         TenantReport &rep = reports_[id];
         if (rep.migrations == 0)
             rep.started_at = t.startedAt();
@@ -851,6 +907,36 @@ class Server
         rep.records_shed += t.recordsShed();
         rep.suppressed_records += t.egress().suppressedRecords();
         rep.downtime_ns += sla.downtimeNs();
+
+        // Breach attribution: fold the segment tracker's decomposed
+        // latency into the report (a migrated / recovered session
+        // sums its segments; components still sum to total latency).
+        for (uint32_t c = 0; c < kStallCauses; ++c) {
+            const auto cause = static_cast<StallCause>(c);
+            rep.attribution_ns[c] += sla.componentNs(cause);
+            rep.breach_attribution_ns[c] += sla.breachNs(cause);
+        }
+
+        if (obs::Telemetry *tp = cfg_.telemetry) {
+            obs::MetricsRegistry &m = tp->metrics;
+            const std::string p = obs::MetricsRegistry::path(
+                {"shard", std::to_string(s), "tenant",
+                 std::to_string(id)});
+            m.counter(p + "/records").add(t.recordsIngested());
+            m.counter(p + "/tasks").add(ss.completed - base.tasks);
+            m.counter(p + "/windows").add(sla.windows());
+            m.counter(p + "/sla_violations").add(sla.violations());
+            m.counter(p + "/ingest_wait_ns").add(t.ingestWaitNs());
+            m.counter(p + "/queue_wait_ns")
+                .add(ss.queue_wait_ns - base.queue_wait_ns);
+            m.counter(p + "/memory_stall_ns")
+                .add(sh.eng->director().sweepStallNs(id)
+                     - base.sweep_stall_ns);
+            obs::Histogram &h = m.histogram(
+                p + "/latency_ms", {10, 50, 100, 500, 1000, 5000});
+            for (double v : sla.latencies().samples())
+                h.observe(v * 1e3);
+        }
     }
 
     /** Tear a session's shard-local state down after a drain. */
@@ -940,6 +1026,19 @@ class Server
         rep.p95_s = pooled.percentile(95);
         rep.p99_s = pooled.percentile(99);
 
+        // Name what mostly made violating windows late, over every
+        // segment of the session; ties break toward the earlier
+        // StallCause and a violation-free session reports compute.
+        uint32_t dom = static_cast<uint32_t>(StallCause::kCompute);
+        double dom_v = 0.0;
+        for (uint32_t c = 0; c < kStallCauses; ++c) {
+            if (rep.breach_attribution_ns[c] > dom_v) {
+                dom_v = rep.breach_attribution_ns[c];
+                dom = c;
+            }
+        }
+        rep.dominant_cause = static_cast<StallCause>(dom);
+
         // Hand the reservation back — which may admit waiting
         // sessions right now, at this virtual time, on any shard.
         for (const TenantSpec &next : registry_.release(id))
@@ -1000,6 +1099,12 @@ class Server
             return;
         migrating_[victim] = target;
         sh.tenants[victim]->truncate();
+        if (obs::Telemetry *tp = cfg_.telemetry) {
+            tp->trace.instant(sh.eng->machine().now(), s, victim,
+                              "migration", "migrate_out",
+                              {{"target", target},
+                               {"hbm_used", victim_used}});
+        }
     }
 
     /**
@@ -1041,6 +1146,25 @@ class Server
 
     static constexpr uint32_t kNoShard = ~0u;
 
+    /**
+     * Where the server records: the installed telemetry plane's sink
+     * when there is one, else a private sink — the recovery trace and
+     * the injector's fired() fingerprint work identically either way.
+     */
+    obs::TraceSink &
+    recoverySink()
+    {
+        return cfg_.telemetry != nullptr ? cfg_.telemetry->trace
+                                         : own_sink_;
+    }
+
+    const obs::TraceSink &
+    recoverySink() const
+    {
+        return cfg_.telemetry != nullptr ? cfg_.telemetry->trace
+                                         : own_sink_;
+    }
+
     /** Append one deterministic line to the recovery trace. */
     void
     trace(const char *fmt, ...)
@@ -1050,7 +1174,8 @@ class Server
         va_start(ap, fmt);
         vsnprintf(buf, sizeof(buf), fmt, ap);
         va_end(ap);
-        trace_.push_back(buf);
+        recoverySink().instant(shards_[0]->eng->machine().now(), 0, 0,
+                               "recovery", buf);
     }
 
     /** The session @p id currently runs as, wherever it is. */
@@ -1299,6 +1424,9 @@ class Server
         if (cfg_.fair_share)
             sh.sched.setWeight(pr.id, rep.spec.weight);
         t.start();
+        // Prime BEFORE noting the outage so the downtime lands in the
+        // fresh tracker's recovery delta at the next observe.
+        t.sla().primeStalls(t.stallSnapshot());
         t.sla().noteOutage(now - pr.crashed_at);
         ++rep.recoveries;
         rep.records_replayed += pr.replay;
@@ -1339,11 +1467,11 @@ class Server
         if (it == sh.tenants.end())
             return; // drained, crashed or migrated away
         it->second->sourceA().pause();
-        quiesceWait(s, id);
+        quiesceWait(s, id, sh.eng->machine().now());
     }
 
     void
-    quiesceWait(uint32_t s, runtime::StreamId id)
+    quiesceWait(uint32_t s, runtime::StreamId id, SimTime began)
     {
         if (shard_dead_[s])
             return;
@@ -1357,7 +1485,7 @@ class Server
             // lands and the source resumes.
             sh.eng->machine().after(
                 cfg_.fault.quiesce_poll,
-                [this, s, id] { quiesceWait(s, id); });
+                [this, s, id, began] { quiesceWait(s, id, began); });
             return;
         }
         sim::CostLog log;
@@ -1367,6 +1495,15 @@ class Server
         ++rep.checkpoints;
         rep.checkpoint_copied_bytes += c.copiedBytes();
         rep.checkpoint_reused_bytes += c.reusedBytes();
+        if (obs::Telemetry *tp = cfg_.telemetry) {
+            // The span covers pause -> quiesce -> capture; the copy
+            // charge runs on after it DMA-style.
+            tp->trace.span(began, sh.eng->machine().now() - began, s,
+                           id, "checkpoint", "checkpoint",
+                           {{"copied_bytes", c.copiedBytes()},
+                            {"reused_bytes", c.reusedBytes()},
+                            {"position", c.position}});
+        }
         // Copy traffic is real work on the shard: charge it through
         // the machine DMA-style, like the director's demotion sweeps.
         sh.eng->machine().execute(std::move(log), [] {});
@@ -1394,7 +1531,8 @@ class Server
     std::vector<PendingRecovery> pending_recovery_;
     bool recovery_scheduled_ = false;
     CheckpointStore ckpts_;
-    std::vector<std::string> trace_;
+    obs::TraceSink own_sink_;
+    mutable std::vector<std::string> trace_view_;
 };
 
 } // namespace sbhbm::serve

@@ -341,6 +341,26 @@ class Tenant
                + (src_b_ ? src_b_->recordsIngested() : 0);
     }
 
+    /** Cumulative ingest stall of every source, ns (attribution). */
+    uint64_t
+    ingestWaitNs() const
+    {
+        return src_a_->ingestWaitNs()
+               + (src_b_ ? src_b_->ingestWaitNs() : 0);
+    }
+
+    /** The tenant's current stall counters for SLA attribution. */
+    StallSnapshot
+    stallSnapshot() const
+    {
+        StallSnapshot s;
+        s.ingest_wait_ns = ingestWaitNs();
+        s.queue_wait_ns =
+            eng_.exec().streamStats(spec_.id).queue_wait_ns;
+        s.memory_stall_ns = eng_.director().sweepStallNs(spec_.id);
+        return s;
+    }
+
     uint64_t outputRecords() const { return built_.egress->outputRecords(); }
 
   private:

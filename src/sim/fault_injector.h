@@ -22,6 +22,7 @@
 #define SBHBM_SIM_FAULT_INJECTOR_H
 
 #include <algorithm>
+#include <cstring>
 #include <functional>
 #include <string>
 #include <utility>
@@ -30,6 +31,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/units.h"
+#include "obs/trace.h"
 #include "sim/machine.h"
 
 namespace sbhbm::sim {
@@ -194,17 +196,24 @@ struct FaultPlan
 
 /**
  * Arms a FaultPlan on a machine and fires each event through the
- * installed handler at its exact virtual time. Keeps the fired trace
- * for reproducibility fingerprints.
+ * installed handler at its exact virtual time. Every firing is
+ * recorded on a trace sink (category "fault", pid = target shard,
+ * tid = target tenant) — a caller-supplied sink merges the fault
+ * timeline into the run's unified trace, and fired() is a thin view
+ * materialized back from those events, so the sink is the single
+ * source of truth for reproducibility fingerprints.
  */
 class FaultInjector
 {
   public:
     using Handler = std::function<void(const FaultEvent &)>;
 
-    FaultInjector(Machine &machine, FaultPlan plan, Handler handler)
+    /** @param sink shared trace sink; null = injector-private one. */
+    FaultInjector(Machine &machine, FaultPlan plan, Handler handler,
+                  obs::TraceSink *sink = nullptr)
         : machine_(machine), plan_(std::move(plan)),
-          handler_(std::move(handler))
+          handler_(std::move(handler)),
+          sink_(sink != nullptr ? sink : &own_sink_)
     {
         sbhbm_assert(handler_ != nullptr, "fault injector needs a handler");
         plan_.canonicalize();
@@ -224,7 +233,12 @@ class FaultInjector
             machine_.at(
                 e.at,
                 [this, e] {
-                    fired_.push_back(e);
+                    sink_->instant(
+                        e.at, e.shard, e.tenant, "fault",
+                        faultKindName(e.kind),
+                        {{"kind", static_cast<uint64_t>(e.kind)},
+                         {"arg", e.arg},
+                         {"arg2", e.arg2}});
                     handler_(e);
                 },
                 /*daemon=*/true);
@@ -233,14 +247,37 @@ class FaultInjector
 
     const FaultPlan &plan() const { return plan_; }
 
-    /** Events that actually fired, in firing order. */
-    const std::vector<FaultEvent> &fired() const { return fired_; }
+    /**
+     * Events that actually fired, in firing order: a view rebuilt
+     * from the sink's "fault" events (everything a FaultEvent holds
+     * round-trips through the recorded instant).
+     */
+    const std::vector<FaultEvent> &
+    fired() const
+    {
+        fired_view_.clear();
+        for (const obs::TraceEvent &t : sink_->events()) {
+            if (std::strcmp(t.cat, "fault") != 0)
+                continue;
+            FaultEvent e;
+            e.at = t.ts;
+            e.kind = static_cast<FaultKind>(t.args[0].value);
+            e.shard = t.pid;
+            e.tenant = t.tid;
+            e.arg = t.args[1].value;
+            e.arg2 = t.args[2].value;
+            fired_view_.push_back(e);
+        }
+        return fired_view_;
+    }
 
   private:
     Machine &machine_;
     FaultPlan plan_;
     Handler handler_;
-    std::vector<FaultEvent> fired_;
+    obs::TraceSink own_sink_;
+    obs::TraceSink *sink_;
+    mutable std::vector<FaultEvent> fired_view_;
     bool armed_ = false;
 };
 

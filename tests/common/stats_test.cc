@@ -182,5 +182,57 @@ TEST(SampleSetDeath, OutOfRangePercentilePanics)
     EXPECT_DEATH(s.percentile(100.5), "assertion");
 }
 
+TEST(SampleSetHistogram, EmptySetYieldsAllZeroBuckets)
+{
+    SampleSet s;
+    const auto counts = s.histogram({1.0, 2.0});
+    ASSERT_EQ(counts.size(), 3u) << "buckets + one overflow slot";
+    EXPECT_EQ(counts[0], 0u);
+    EXPECT_EQ(counts[1], 0u);
+    EXPECT_EQ(counts[2], 0u);
+}
+
+TEST(SampleSetHistogram, SingleSampleLandsInItsBucket)
+{
+    SampleSet s;
+    s.add(1.5);
+    const auto counts = s.histogram({1.0, 2.0});
+    EXPECT_EQ(counts[0], 0u);
+    EXPECT_EQ(counts[1], 1u);
+    EXPECT_EQ(counts[2], 0u);
+
+    s.add(99.0); // beyond the last bound: overflow slot
+    EXPECT_EQ(s.histogram({1.0, 2.0})[2], 1u);
+}
+
+TEST(SampleSetHistogram, AllEqualSamplesShareOneBucket)
+{
+    SampleSet s;
+    for (int i = 0; i < 7; ++i)
+        s.add(0.5);
+    const auto counts = s.histogram({1.0, 2.0});
+    EXPECT_EQ(counts[0], 7u);
+    EXPECT_EQ(counts[1], 0u);
+    EXPECT_EQ(counts[2], 0u);
+}
+
+TEST(SampleSetHistogram, BucketEdgeValuesLandInTheBoundingBucket)
+{
+    SampleSet s;
+    s.add(1.0); // == bounds[0]: counts in bucket 0, not 1
+    s.add(2.0); // == bounds[1]: counts in bucket 1, not overflow
+    const auto counts = s.histogram({1.0, 2.0});
+    EXPECT_EQ(counts[0], 1u);
+    EXPECT_EQ(counts[1], 1u);
+    EXPECT_EQ(counts[2], 0u);
+}
+
+TEST(SampleSetHistogramDeath, NonIncreasingBucketsPanic)
+{
+    SampleSet s;
+    s.add(1.0);
+    EXPECT_DEATH(s.histogram({2.0, 2.0}), "assertion");
+}
+
 } // namespace
 } // namespace sbhbm

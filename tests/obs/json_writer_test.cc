@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The shared streaming JSON writer: comma/indent placement, escaping,
+ * fixed-precision number formatting, and the key()/value() pairing —
+ * every JSON emitter in the tree (bench reports, trace exporter)
+ * rides on this one implementation, so its output must be exact.
+ */
+
+#include "obs/json_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace sbhbm::obs {
+namespace {
+
+TEST(ObsJsonWriter, EmptyContainersStayOnOneLine)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("a").beginArray().endArray();
+    w.key("o").beginObject().endObject();
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\n  \"a\": [],\n  \"o\": {}\n}");
+}
+
+TEST(ObsJsonWriter, CommasSeparateSiblingsNotKeyValuePairs)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("x").value(uint64_t{1});
+    w.key("y").value(uint64_t{2});
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\n  \"x\": 1,\n  \"y\": 2\n}");
+}
+
+TEST(ObsJsonWriter, ArrayElementsSeparateAndIndent)
+{
+    JsonWriter w;
+    w.beginArray();
+    w.value(uint64_t{1});
+    w.value(uint64_t{2});
+    w.endArray();
+    EXPECT_EQ(w.str(), "[\n  1,\n  2\n]");
+}
+
+TEST(ObsJsonWriter, CompactModeEmitsNoWhitespace)
+{
+    JsonWriter w(/*pretty=*/false);
+    w.beginObject();
+    w.key("a").value(uint64_t{1});
+    w.key("b").beginArray().value(true).endArray();
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"a\":1,\"b\":[true]}");
+}
+
+TEST(ObsJsonWriter, EscapesQuotesBackslashesAndControls)
+{
+    JsonWriter w(/*pretty=*/false);
+    w.beginArray();
+    w.value("a\"b\\c\nd\te");
+    w.value(std::string_view("\x01", 1));
+    w.endArray();
+    EXPECT_EQ(w.str(), "[\"a\\\"b\\\\c\\nd\\te\",\"\\u0001\"]");
+}
+
+TEST(ObsJsonWriter, DoublesUseTheExplicitPrecision)
+{
+    JsonWriter w(/*pretty=*/false);
+    w.beginArray();
+    w.value(1.0 / 3.0, 3);
+    w.value(2.5, 0);
+    w.value(-0.125, 2);
+    w.endArray();
+    EXPECT_EQ(w.str(), "[0.333,2,-0.12]");
+}
+
+TEST(ObsJsonWriter, SignedAndBoolValues)
+{
+    JsonWriter w(/*pretty=*/false);
+    w.beginArray();
+    w.value(int64_t{-7});
+    w.value(false);
+    w.rawValue("42.000");
+    w.endArray();
+    EXPECT_EQ(w.str(), "[-7,false,42.000]");
+}
+
+TEST(ObsJsonWriter, NestedDocumentsIndentPerDepth)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("rows").beginArray();
+    w.beginObject();
+    w.key("id").value(uint64_t{1});
+    w.endObject();
+    w.endArray();
+    w.endObject();
+    EXPECT_EQ(w.str(),
+              "{\n  \"rows\": [\n    {\n      \"id\": 1\n    }\n  ]\n}");
+}
+
+} // namespace
+} // namespace sbhbm::obs

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The metrics registry: handle stability across later registrations,
+ * hierarchical path joining, fixed-bucket histogram edge behavior,
+ * and the name-sorted deterministic JSON export.
+ */
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace sbhbm::obs {
+namespace {
+
+TEST(ObsMetrics, CounterHandleSurvivesLaterRegistrations)
+{
+    MetricsRegistry reg;
+    Counter &c = reg.counter("a/records");
+    c.add();
+    // Registering hundreds more must not move the first handle.
+    for (int i = 0; i < 500; ++i)
+        reg.counter("b/" + std::to_string(i));
+    c.add(4);
+    EXPECT_EQ(reg.counter("a/records").value, 5u);
+    EXPECT_EQ(&reg.counter("a/records"), &c);
+}
+
+TEST(ObsMetrics, GaugeSetsAndAccumulates)
+{
+    MetricsRegistry reg;
+    Gauge &g = reg.gauge("hbm_used");
+    g.set(3.5);
+    g.add(-1.5);
+    EXPECT_DOUBLE_EQ(reg.gauge("hbm_used").value, 2.0);
+}
+
+TEST(ObsMetrics, PathJoinsPartsWithSlashes)
+{
+    EXPECT_EQ(MetricsRegistry::path({"shard", "2", "tenant", "7",
+                                     "ingest_wait_ns"}),
+              "shard/2/tenant/7/ingest_wait_ns");
+    EXPECT_EQ(MetricsRegistry::path({"lone"}), "lone");
+    EXPECT_EQ(MetricsRegistry::path({}), "");
+}
+
+TEST(ObsMetrics, HistogramBucketsEdgesIntoBoundingBucket)
+{
+    MetricsRegistry reg;
+    Histogram &h = reg.histogram("lat", {10, 50, 100});
+    h.observe(10);  // edge value lands in the bucket it bounds
+    h.observe(10.5);
+    h.observe(100);
+    h.observe(101); // overflow
+    ASSERT_EQ(h.counts().size(), 4u);
+    EXPECT_EQ(h.counts()[0], 1u);
+    EXPECT_EQ(h.counts()[1], 1u);
+    EXPECT_EQ(h.counts()[2], 1u);
+    EXPECT_EQ(h.counts()[3], 1u);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.sum(), 10 + 10.5 + 100 + 101);
+}
+
+TEST(ObsMetrics, HistogramReResolveKeepsOriginalBounds)
+{
+    MetricsRegistry reg;
+    reg.histogram("lat", {1, 2});
+    Histogram &h = reg.histogram("lat", {99});
+    EXPECT_EQ(h.bounds().size(), 2u);
+    EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(ObsMetrics, ExportIsNameSortedAndRepeatable)
+{
+    MetricsRegistry reg;
+    // Registered out of order on purpose: export must sort by name.
+    reg.counter("z/last").add(2);
+    reg.counter("a/first").add(1);
+    reg.gauge("mid").set(0.25);
+
+    JsonWriter w1(/*pretty=*/false);
+    reg.writeJson(w1);
+    EXPECT_EQ(w1.str(),
+              "{\"counters\":{\"a/first\":1,\"z/last\":2},"
+              "\"gauges\":{\"mid\":0.250000},\"histograms\":{}}");
+
+    JsonWriter w2(/*pretty=*/false);
+    reg.writeJson(w2);
+    EXPECT_EQ(w1.str(), w2.str());
+}
+
+} // namespace
+} // namespace sbhbm::obs
