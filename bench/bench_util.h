@@ -11,8 +11,10 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "obs/json_writer.h"
@@ -151,11 +153,13 @@ detectGitRev()
 
 /**
  * Collects BenchResults and writes them as `BENCH_kernels.json`-style
- * output. Schema v2: a schema tag, the host environment (host_cores,
+ * output. Schema v3: a schema tag, the host environment (host_cores,
  * git_rev — thread-scaling numbers are meaningless without the core
- * count they ran on), and one object per benchmark including the
- * host worker-thread count the kernel used. Deliberately
- * dependency-free (no Google Benchmark) so it runs everywhere CI does.
+ * count they ran on), one object per benchmark including the host
+ * worker-thread count the kernel used, plus optional extra top-level
+ * sections (setExtra) for suite-specific payloads such as the drift
+ * benchmark's per-decision counts. Deliberately dependency-free (no
+ * Google Benchmark) so it runs everywhere CI does.
  */
 class JsonReport
 {
@@ -166,6 +170,18 @@ class JsonReport
 
     void setGitRev(std::string rev) { git_rev_ = std::move(rev); }
 
+    /**
+     * Attach an extra top-level section: @p fn is called with the
+     * writer positioned after `"key":` and must write exactly one
+     * JSON value (object, array, or scalar).
+     */
+    void
+    setExtra(std::string key,
+             std::function<void(obs::JsonWriter &)> fn)
+    {
+        extras_.emplace_back(std::move(key), std::move(fn));
+    }
+
     /** @return true when the file was written successfully. */
     bool
     writeTo(const std::string &path) const
@@ -173,7 +189,7 @@ class JsonReport
         const unsigned hw = std::thread::hardware_concurrency();
         obs::JsonWriter w;
         w.beginObject();
-        w.key("schema").value("sbhbm-bench-v2");
+        w.key("schema").value("sbhbm-bench-v3");
         w.key("host_cores").value(hw >= 1 ? hw : 1);
         w.key("git_rev").value(git_rev_.empty() ? detectGitRev()
                                                 : git_rev_);
@@ -194,6 +210,10 @@ class JsonReport
             w.endObject();
         }
         w.endArray();
+        for (const auto &[key, fn] : extras_) {
+            w.key(key);
+            fn(w);
+        }
         w.endObject();
         return w.writeFile(path);
     }
@@ -201,6 +221,9 @@ class JsonReport
   private:
     std::vector<BenchResult> results_;
     std::string git_rev_;
+    std::vector<
+        std::pair<std::string, std::function<void(obs::JsonWriter &)>>>
+        extras_;
 };
 
 } // namespace sbhbm::bench

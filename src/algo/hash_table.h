@@ -38,11 +38,11 @@
 namespace sbhbm::algo {
 
 /**
- * Last-level cache size of this host, queried once (sysconf where
- * available, 32 MB when the platform won't say). Batched probes use
- * it to decide whether prefetching can pay: a table the LLC holds
- * has no miss latency to hide, and prefetch instructions in that
- * regime are a measured net loss.
+ * Last-level cache size of this host as reported by sysconf, or 0
+ * when the platform won't say (sysconf missing, or reporting 0/-1).
+ * 0 means "unknown": the prefetch gate then stays off — the scalar
+ * probe path is always correct, just unhidden — rather than guessing
+ * a capacity the host may not have.
  */
 inline uint64_t
 llcBytes()
@@ -58,9 +58,51 @@ llcBytes()
         if (l2 > 0)
             return static_cast<uint64_t>(l2);
 #endif
-        return uint64_t{32} << 20;
+        return uint64_t{0};
     }();
     return bytes;
+}
+
+/**
+ * Process-wide probe tuning new tables are born with. The sysconf
+ * guess seeds it; the adaptive plane (src/runtime/adaptive.h)
+ * replaces it with a gate derived from *measured* probe cost, which
+ * also repairs the llc_bytes == 0 "platform won't say" case the
+ * one-shot detection cannot. Wall-clock-only state: it steers
+ * prefetch and batch width, never results or simulated charges.
+ */
+struct ProbeTuning
+{
+    /** Effective LLC capacity for the prefetch gate; 0 = unknown
+     *  (gate stays off, scalar path). */
+    uint64_t llc_bytes = 0;
+    /** Probe batch width B for new tables. */
+    uint32_t batch = 16;
+    /** True once a measurement (not the sysconf guess) set this. */
+    bool measured = false;
+};
+
+inline ProbeTuning &
+mutableProbeTuning()
+{
+    static ProbeTuning tuning = [] {
+        ProbeTuning t;
+        t.llc_bytes = llcBytes();
+        return t;
+    }();
+    return tuning;
+}
+
+inline const ProbeTuning &
+probeTuning()
+{
+    return mutableProbeTuning();
+}
+
+inline void
+setProbeTuning(const ProbeTuning &t)
+{
+    mutableProbeTuning() = t;
 }
 
 /** Multiplicative hash (Fibonacci hashing) for 64-bit keys. */
@@ -89,11 +131,14 @@ class HashTable
         used_.assign(cap, 0);
         mask_ = cap - 1;
         // Batched probes prefetch only when the table exceeds the
-        // host's LLC and can actually miss: for a cache-resident
+        // effective LLC and can actually miss: for a cache-resident
         // table (the common per-window grouping state) the prefetch
         // instructions are pure overhead with nothing to hide —
         // measured ~0.6x on mid-size tables when gated too low.
-        prefetch_ = footprintBytes() > llcBytes();
+        // Unknown capacity (llc_bytes == 0) keeps the gate off.
+        const ProbeTuning &t = probeTuning();
+        prefetch_ = t.llc_bytes > 0 && footprintBytes() > t.llc_bytes;
+        batch_ = std::min(std::max(t.batch, 1u), kMaxProbeBatch);
     }
 
     /**
@@ -147,8 +192,27 @@ class HashTable
         return const_cast<HashTable *>(this)->find(key);
     }
 
-    /** Lookups software-pipelined per batch (see file comment). */
+    /** Default lookups software-pipelined per batch (see file
+     *  comment); the effective width is probeBatch(). */
     static constexpr uint32_t kProbeBatch = 16;
+
+    /** Upper bound callers may size per-batch stack arrays with. */
+    static constexpr uint32_t kMaxProbeBatch = 32;
+
+    /** Effective probe batch width B (autotunable, <= kMaxProbeBatch). */
+    uint32_t probeBatch() const { return batch_; }
+
+    void
+    setProbeBatch(uint32_t b)
+    {
+        batch_ = std::min(std::max(b, 1u), kMaxProbeBatch);
+    }
+
+    /** Whether batched probes group-prefetch (see file comment). */
+    bool prefetchEnabled() const { return prefetch_; }
+
+    /** Override the prefetch gate (measured-cost adaptive path). */
+    void setPrefetch(bool on) { prefetch_ = on; }
 
     /** Issue the loads probing @p key will need (its home slot). */
     void
@@ -188,8 +252,8 @@ class HashTable
                 out[i] = find(keys[i]);
             return;
         }
-        for (uint32_t base = 0; base < n; base += kProbeBatch) {
-            const uint32_t b = std::min(kProbeBatch, n - base);
+        for (uint32_t base = 0; base < n; base += batch_) {
+            const uint32_t b = std::min(batch_, n - base);
             for (uint32_t l = 0; l < b; ++l)
                 prefetchKey(keys[base + l]);
             for (uint32_t l = 0; l < b; ++l)
@@ -217,9 +281,8 @@ class HashTable
                 visit(i, findOrInsert(keys[i]));
             return;
         }
-        for (uint32_t base = 0; base < n; base += kProbeBatch) {
-            const uint32_t b =
-                std::min(kProbeBatch, n - base);
+        for (uint32_t base = 0; base < n; base += batch_) {
+            const uint32_t b = std::min(batch_, n - base);
             for (uint32_t l = 0; l < b; ++l)
                 prefetchKey(keys[base + l]);
             for (uint32_t l = 0; l < b; ++l)
@@ -271,6 +334,7 @@ class HashTable
     size_t mask_ = 0;
     size_t size_ = 0;
     bool prefetch_ = false;
+    uint32_t batch_ = kProbeBatch;
 };
 
 } // namespace sbhbm::algo

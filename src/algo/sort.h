@@ -146,7 +146,9 @@ isSortedByKey(const KpEntry *e, size_t n)
  * pipelines extract KPAs from time-ordered bundles, so sorting on the
  * timestamp column routinely sees fully sorted runs; random input
  * abandons the check at its first inversion, typically within a few
- * elements.
+ * elements. Callers that have already proven the input unsorted (a
+ * sampled inversion, or an adaptive policy that has watched this
+ * stream) pass @p precheck false to skip the scan outright.
  *
  * The ping-pong parity is precomputed: with an odd number of merge
  * levels the block sort lands in scratch (each 1 KiB block is copied
@@ -154,11 +156,11 @@ isSortedByKey(const KpEntry *e, size_t n)
  * writes into @p data and no whole-array copy-back pass is needed.
  */
 inline void
-sortRun(KpEntry *data, size_t n, KpEntry *scratch)
+sortRun(KpEntry *data, size_t n, KpEntry *scratch, bool precheck = true)
 {
     if (n <= 1)
         return;
-    if (isSortedByKey(data, n))
+    if (precheck && isSortedByKey(data, n))
         return;
     const int levels = mergeLevels(n);
     KpEntry *src = (levels % 2 == 0) ? data : scratch;
@@ -269,15 +271,15 @@ mergeRunsParallel(const KpEntry *a, size_t na, const KpEntry *b,
  */
 inline void
 sortRunParallel(KpEntry *data, size_t n, KpEntry *scratch,
-                WorkerPool &pool)
+                WorkerPool &pool, bool precheck = true)
 {
     if (n <= 1)
         return;
     if (pool.threads() <= 1 || n < kParallelSortMin) {
-        sortRun(data, n, scratch);
+        sortRun(data, n, scratch, precheck);
         return;
     }
-    if (isSortedByKey(data, n))
+    if (precheck && isSortedByKey(data, n))
         return;
     const size_t threads = pool.threads();
     const int levels = mergeLevels(n);
